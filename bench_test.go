@@ -1,0 +1,164 @@
+package treesvd
+
+// One testing.B benchmark per table/figure of the paper (DESIGN.md §3
+// maps ids to artifacts). Each runs the corresponding harness experiment
+// at smoke scale so `go test -bench=.` finishes in minutes; the full-size
+// tables come from `go run ./cmd/bench -exp <id>`. Micro-benchmarks of
+// the core primitives (push, block SVD, tree build/update) follow.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/bench"
+	"github.com/tree-svd/treesvd/internal/core"
+	"github.com/tree-svd/treesvd/internal/dataset"
+	"github.com/tree-svd/treesvd/internal/graph"
+	"github.com/tree-svd/treesvd/internal/ppr"
+	"github.com/tree-svd/treesvd/internal/rsvd"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	o := bench.QuickOptions()
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunAndPrint(id, o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkFig3(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkTable4(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkExp2(b *testing.B)      { benchExperiment(b, "exp2") }
+func BenchmarkFig5Scale(b *testing.B) { benchExperiment(b, "fig5scale") }
+func BenchmarkExp3NC(b *testing.B)    { benchExperiment(b, "exp3nc") }
+func BenchmarkExp3LP(b *testing.B)    { benchExperiment(b, "exp3lp") }
+func BenchmarkExp4(b *testing.B)      { benchExperiment(b, "exp4") }
+func BenchmarkTable7(b *testing.B)    { benchExperiment(b, "table7") }
+func BenchmarkExp5(b *testing.B)      { benchExperiment(b, "exp5") }
+func BenchmarkFig11(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// --- core primitive micro-benchmarks ---
+
+func benchSetup() (*dataset.Dataset, []int32, *ppr.Proximity) {
+	ds := dataset.Generate(dataset.ScaleProfile(dataset.Patent(), 0.25))
+	s := ds.SampleSubset(1, 100, 1)
+	g := ds.SnapshotGraph(ds.Stream.NumSnapshots() / 2)
+	sub := ppr.NewSubset(g, s, ppr.Params{Alpha: 0.15, RMax: 1e-4})
+	return ds, s, ppr.NewProximity(sub, ds.Profile.Nodes, 64)
+}
+
+func BenchmarkForwardPush(b *testing.B) {
+	ds := dataset.Generate(dataset.ScaleProfile(dataset.Patent(), 0.25))
+	g := ds.SnapshotGraph(ds.Stream.NumSnapshots())
+	e := ppr.NewEngine(g, ppr.Params{Alpha: 0.15, RMax: 1e-4})
+	s := ds.SampleSubset(1, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := ppr.NewState(s[i%len(s)], graph.Forward)
+		e.Push(st)
+	}
+}
+
+func BenchmarkDynamicPushBatch(b *testing.B) {
+	ds, s, prox := benchSetup()
+	mid := ds.Stream.NumSnapshots()/2 + 1
+	events := ds.Stream.SnapshotEvents(mid)
+	if len(events) > 200 {
+		events = events[:200]
+	}
+	_ = s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prox.ApplyEvents(events)
+		b.StopTimer()
+		// Re-applying identical inserts is a no-op; flip to keep work real.
+		flipped := make([]graph.Event, len(events))
+		for j, ev := range events {
+			typ := graph.Delete
+			if ev.Type == graph.Delete {
+				typ = graph.Insert
+			}
+			flipped[j] = graph.Event{U: ev.U, V: ev.V, Type: typ}
+		}
+		events = flipped
+		b.StartTimer()
+	}
+}
+
+func BenchmarkTreeBuild(b *testing.B) {
+	_, _, prox := benchSetup()
+	cfg := core.DefaultConfig(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := core.NewTree(prox.M, cfg)
+		tree.Build()
+	}
+}
+
+func BenchmarkTreeLazyUpdateOneBlock(b *testing.B) {
+	_, _, prox := benchSetup()
+	cfg := core.DefaultConfig(32)
+	tree := core.NewTree(prox.M, cfg)
+	tree.Build()
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := prox.M.BlockRange(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 50; j++ {
+			prox.M.Set(rng.Intn(prox.M.Rows()), lo+rng.Intn(hi-lo), rng.Float64()*5)
+		}
+		b.StartTimer()
+		tree.ForceRebuildBlock(0)
+	}
+}
+
+func BenchmarkBlockRandomizedSVD(b *testing.B) {
+	_, _, prox := benchSetup()
+	blk := prox.M.BlockCSR(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rsvd.Sparse(blk, rsvd.Options{Rank: 32, Seed: int64(i)})
+	}
+}
+
+func BenchmarkFullMatrixFRPCA(b *testing.B) {
+	_, _, prox := benchSetup()
+	csr := prox.M.ToCSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rsvd.FRPCA(csr, rsvd.Options{Rank: 32, Seed: int64(i)})
+	}
+}
+
+func BenchmarkEmbedderApplyEvents(b *testing.B) {
+	ds := dataset.Generate(dataset.ScaleProfile(dataset.Patent(), 0.25))
+	g := ds.SnapshotGraph(ds.Stream.NumSnapshots() / 2)
+	s := ds.SampleSubset(1, 100, 1)
+	cfg := Defaults()
+	cfg.MaxNodes = ds.Stream.NumNodes
+	emb, err := New(g, s, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rest := ds.Stream.Events[ds.Stream.Ends[ds.Stream.NumSnapshots()/2-1]:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * 100) % len(rest)
+		hi := lo + 100
+		if hi > len(rest) {
+			hi = len(rest)
+		}
+		emb.ApplyEvents(rest[lo:hi])
+	}
+}
+
+func BenchmarkFutureWork(b *testing.B) { benchExperiment(b, "futurework") }

@@ -1,0 +1,92 @@
+// Command bench regenerates the paper's tables and figures on the scaled
+// synthetic datasets. Each experiment id maps to one table/figure of the
+// evaluation section (see DESIGN.md §3).
+//
+// Usage:
+//
+//	bench -list
+//	bench -exp table1
+//	bench -exp all [-heavy]
+//	bench -exp exp4 -subset 300 -dim 32 -rmax 1e-4 -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tree-svd/treesvd/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids")
+		heavy   = flag.Bool("heavy", false, "include heavy per-snapshot experiments in 'all'")
+		quick   = flag.Bool("quick", false, "smoke sizes (small subset, scaled-down graphs)")
+		subset  = flag.Int("subset", 0, "override |S|")
+		dim     = flag.Int("dim", 0, "override embedding dimension d")
+		rmax    = flag.Float64("rmax", 0, "override PPR r_max")
+		scale   = flag.Float64("scale", 0, "override dataset scale factor")
+		seed    = flag.Int64("seed", 0, "override seed")
+		workers = flag.Int("workers", 0, "worker pool size (0 = sequential)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			tag := ""
+			if e.Heavy {
+				tag = "  [heavy]"
+			}
+			fmt.Printf("%-10s %s%s\n", e.ID, e.Desc, tag)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "bench: -exp <id> required (try -list)")
+		os.Exit(2)
+	}
+
+	o := bench.DefaultOptions()
+	if *quick {
+		o = bench.QuickOptions()
+	}
+	if *subset > 0 {
+		o.SubsetSize = *subset
+	}
+	if *dim > 0 {
+		o.Dim = *dim
+	}
+	if *rmax > 0 {
+		o.RMax = *rmax
+	}
+	if *scale > 0 {
+		o.Scale = *scale
+	}
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+	o.Workers = *workers
+
+	run := func(id string) {
+		t0 := time.Now()
+		if err := bench.RunAndPrint(id, o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	if *exp == "all" {
+		for _, e := range bench.Registry() {
+			if e.Heavy && !*heavy {
+				fmt.Printf("[skipping heavy experiment %s; pass -heavy to include]\n", e.ID)
+				continue
+			}
+			run(e.ID)
+		}
+		return
+	}
+	run(*exp)
+}

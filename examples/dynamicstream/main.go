@@ -1,0 +1,78 @@
+// Dynamicstream: maintain subset embeddings over an evolving graph and
+// watch the lazy update at work. A synthetic YouTube-like social network
+// streams through its snapshots; at each snapshot the example reports how
+// many of the 64 proximity blocks were re-factored versus served from
+// cache, and how the embedding of a tracked node drifts.
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	treesvd "github.com/tree-svd/treesvd"
+	"github.com/tree-svd/treesvd/internal/dataset"
+)
+
+func main() {
+	// A scaled YouTube-profile dynamic graph: 8 snapshots of edge events.
+	ds := dataset.Generate(dataset.ScaleProfile(dataset.YouTube(), 0.5))
+	stream := ds.Stream
+	fmt.Printf("stream: %d nodes, %d events, %d snapshots\n",
+		stream.NumNodes, len(stream.Events), stream.NumSnapshots())
+
+	g := stream.BuildSnapshot(1)
+	subset := ds.SampleSubset(1, 120, 7)
+
+	cfg := treesvd.Defaults()
+	cfg.Dim = 16
+	cfg.MaxNodes = stream.NumNodes
+	t0 := time.Now()
+	emb, err := treesvd.New(g, subset, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshot 1: full build in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	prev := emb.Embedding()
+	for t := 2; t <= stream.NumSnapshots(); t++ {
+		batch := stream.SnapshotEvents(t)
+		t0 = time.Now()
+		emb.ApplyEvents(batch)
+		elapsed := time.Since(t0)
+		st := emb.LastStats()
+
+		cur := emb.Embedding()
+		drift := embeddingDrift(prev, cur)
+		prev = cur
+		fmt.Printf("snapshot %d: %5d events in %7v | blocks rebuilt %2d, cached %2d | embedding drift %.3f\n",
+			t, len(batch), elapsed.Round(time.Millisecond), st.Level1Rebuilt, st.Skipped, drift)
+	}
+	fmt.Println("\nThe cached-block counts are the point: most of the factorization")
+	fmt.Println("is reused across snapshots (Algorithm 4), which is what makes the")
+	fmt.Println("update an order of magnitude cheaper than re-running Tree-SVD-S.")
+}
+
+// embeddingDrift measures the average row-space rotation between two
+// embeddings via normalized row dot products (sign-invariant).
+func embeddingDrift(a, b [][]float64) float64 {
+	var total float64
+	n := 0
+	for i := range a {
+		na, nb, dot := 0.0, 0.0, 0.0
+		for j := range a[i] {
+			na += a[i][j] * a[i][j]
+			nb += b[i][j] * b[i][j]
+			dot += a[i][j] * b[i][j]
+		}
+		if na == 0 || nb == 0 {
+			continue
+		}
+		total += 1 - math.Abs(dot)/math.Sqrt(na*nb)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

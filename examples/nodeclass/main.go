@@ -1,0 +1,57 @@
+// Nodeclass: classify target users with embeddings maintained over a
+// dynamic graph — Exp. 3 of the paper in miniature. At every snapshot the
+// subset embedding is lazily updated and a logistic-regression classifier
+// is retrained on half the subset; accuracy rises as the graph matures.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	treesvd "github.com/tree-svd/treesvd"
+	"github.com/tree-svd/treesvd/internal/dataset"
+	"github.com/tree-svd/treesvd/internal/eval"
+	"github.com/tree-svd/treesvd/internal/linalg"
+)
+
+func main() {
+	ds := dataset.Generate(dataset.ScaleProfile(dataset.Patent(), 0.5))
+	stream := ds.Stream
+	subset := ds.SampleSubset(1, 200, 11)
+	labels := ds.LabelsFor(subset)
+	fmt.Printf("Patent-like stream: %d nodes, %d classes, %d snapshots; |S|=%d\n",
+		stream.NumNodes, ds.Profile.Communities, stream.NumSnapshots(), len(subset))
+
+	g := stream.BuildSnapshot(1)
+	cfg := treesvd.Defaults()
+	cfg.Dim = 32
+	cfg.MaxNodes = stream.NumNodes
+	emb, err := treesvd.New(g, subset, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	classify := func() float64 {
+		rows := emb.Embedding()
+		x := linalg.NewDense(len(rows), len(rows[0]))
+		for i, r := range rows {
+			copy(x.Row(i), r)
+		}
+		micro, _ := eval.Classify(x, labels, ds.Profile.Communities, 0.5, eval.DefaultLogRegConfig())
+		return micro
+	}
+
+	fmt.Printf("snapshot  1: micro-F1 %.1f%% (full build)\n", 100*classify())
+	for t := 2; t <= stream.NumSnapshots(); t++ {
+		batch := stream.SnapshotEvents(t)
+		t0 := time.Now()
+		emb.ApplyEvents(batch)
+		upd := time.Since(t0)
+		if t%4 == 0 || t == stream.NumSnapshots() {
+			fmt.Printf("snapshot %2d: micro-F1 %.1f%% (update %v, %d blocks re-factored)\n",
+				t, 100*classify(), upd.Round(time.Millisecond), emb.LastStats().Level1Rebuilt)
+		}
+	}
+	fmt.Println("\nAccuracy improves as the stream matures because the embedding is")
+	fmt.Println("kept in sync with the topology at a small incremental cost.")
+}

@@ -1,0 +1,3 @@
+module github.com/tree-svd/treesvd
+
+go 1.22

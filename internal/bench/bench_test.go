@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete pins the experiment inventory to DESIGN.md §3.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig3", "table4", "exp2", "fig5scale", "exp3nc", "exp3lp",
+		"exp4", "table7", "exp5", "fig11", "fig12", "fig13", "fig14", "ablations", "futurework"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+	}
+	if _, err := Lookup("table1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("bogus"); err == nil {
+		t.Fatal("bogus id accepted")
+	}
+}
+
+// TestQuickExperimentsProduceRows runs every light experiment end-to-end
+// at smoke scale: the full pipeline (datasets → PPR → factorizations →
+// downstream tasks) must produce a non-empty, well-formed table.
+func TestQuickExperimentsProduceRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke test")
+	}
+	o := QuickOptions()
+	o.SubsetSize = 40
+	o.Dim = 8
+	o.Scale = 0.08
+	for _, e := range Registry() {
+		if e.Heavy {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(o)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Fatalf("table %q row width %d != header %d", tab.Title, len(row), len(tab.Header))
+					}
+					for _, cell := range row {
+						if strings.Contains(cell, "NaN") {
+							t.Fatalf("table %q contains NaN cell", tab.Title)
+						}
+					}
+				}
+				tab.Fprint(io.Discard)
+			}
+		})
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"A", "B"}, Notes: []string{"n"}}
+	tab.AddRow("1", "22")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T ==", "A", "22", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := DefaultOptions()
+	if o.SubsetSize != 300 || o.Dim != 32 {
+		t.Fatalf("unexpected defaults %+v", o)
+	}
+	q := QuickOptions()
+	if q.SubsetSize >= o.SubsetSize || q.Scale >= o.Scale {
+		t.Fatal("quick options not smaller than defaults")
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// TestParallelBuildMatchesSequential: the worker pool must not change the
+// result — per-block seeds are position-derived, so the factorization is
+// schedule-independent.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cfgSeq := testConfig(4)
+	m1 := sparse.NewDynRow(10, 64, cfgSeq.Blocks())
+	fillLowRank(rng, m1, 4, 0.05, 0.7)
+	m2 := sparse.NewDynRow(10, 64, cfgSeq.Blocks())
+	for r := 0; r < 10; r++ {
+		for _, c := range m1.RowColumns(r) {
+			m2.Set(r, int(c), m1.Get(r, int(c)))
+		}
+	}
+	tSeq := NewTree(m1, cfgSeq)
+	tSeq.Build()
+	cfgPar := cfgSeq
+	cfgPar.Workers = 4
+	tPar := NewTree(m2, cfgPar)
+	tPar.Build()
+	if d := linalg.MaxAbsDiff(tSeq.Embedding(), tPar.Embedding()); d > 1e-9 {
+		t.Fatalf("parallel build diverges from sequential: %g", d)
+	}
+}
+
+// TestParallelUpdateRace exercises the parallel update path under the race
+// detector (run with -race).
+func TestParallelUpdateRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := testConfig(4)
+	cfg.Workers = 4
+	cfg.Delta = 0.1
+	m := sparse.NewDynRow(12, 128, cfg.Blocks())
+	fillLowRank(rng, m, 4, 0.05, 0.5)
+	tr := NewTree(m, cfg)
+	tr.Build()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 80; i++ {
+			m.Set(rng.Intn(12), rng.Intn(128), rng.NormFloat64())
+		}
+		tr.Update()
+	}
+	if tr.Root().Rank() == 0 {
+		t.Fatal("parallel updates lost the factorization")
+	}
+}

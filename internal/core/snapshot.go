@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// TreeSnapshot is the serializable state of a Tree: every cached
+// factorization plus the randomized-draw counter. The proximity DynRow is
+// serialized separately by the owner (it is shared state); Restore rewires
+// the snapshot onto it.
+type TreeSnapshot struct {
+	Level1US   []*linalg.Dense
+	Level1Tail []float64
+	Upper      [][]*linalg.Dense
+	RootU      *linalg.Dense
+	RootS      []float64
+	RootV      *linalg.Dense
+	Seq        int64
+	Built      bool
+}
+
+// Snapshot captures the tree's cached state for persistence.
+func (t *Tree) Snapshot() *TreeSnapshot {
+	snap := &TreeSnapshot{Seq: t.seq, Built: t.built}
+	snap.Level1US = make([]*linalg.Dense, len(t.level1))
+	snap.Level1Tail = make([]float64, len(t.level1))
+	for j, c := range t.level1 {
+		if c != nil {
+			snap.Level1US[j] = c.us
+			snap.Level1Tail[j] = c.tail
+		}
+	}
+	snap.Upper = t.upper
+	if t.root != nil {
+		snap.RootU = t.root.U
+		snap.RootS = t.root.S
+		snap.RootV = t.root.V
+	}
+	return snap
+}
+
+// RestoreTree rebuilds a Tree over matrix m from a snapshot taken with the
+// same configuration. The block partition of m must match the snapshot.
+func RestoreTree(m *sparse.DynRow, cfg Config, snap *TreeSnapshot) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(snap.Level1US) != m.NumBlocks() {
+		return nil, fmt.Errorf("core: snapshot has %d level-1 blocks, matrix has %d",
+			len(snap.Level1US), m.NumBlocks())
+	}
+	t := NewTree(m, cfg)
+	for j, us := range snap.Level1US {
+		if us != nil {
+			t.level1[j] = &blockCache{us: us, tail: snap.Level1Tail[j]}
+		}
+	}
+	t.upper = snap.Upper
+	if snap.RootU != nil {
+		t.root = &linalg.SVDResult{U: snap.RootU, S: snap.RootS, V: snap.RootV}
+	}
+	t.seq = snap.Seq
+	t.built = snap.Built
+	return t, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+
+	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/rsvd"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// Factorize runs the static Tree-SVD (Algorithm 3, "Tree-SVD-S") over any
+// rectangular sparse matrix — the paper notes the scheme is not limited to
+// subset embedding and speeds up SVD for any c×n matrix with c ≪ n. It
+// returns the root truncated SVD (U_{q,1})_d, (Σ_{q,1})_d.
+func Factorize(m *sparse.CSR, cfg Config) *linalg.SVDResult {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nb := cfg.Blocks()
+	if nb > m.Cols {
+		nb = m.Cols
+	}
+	width := (m.Cols + nb - 1) / nb
+	nb = (m.Cols + width - 1) / width
+	level := make([]*linalg.Dense, 0, nb)
+	for j := 0; j < nb; j++ {
+		lo := j * width
+		hi := lo + width
+		if hi > m.Cols {
+			hi = m.Cols
+		}
+		blk := m.SliceColsCSR(lo, hi)
+		opts := rsvd.Options{
+			Rank:       cfg.Rank,
+			Oversample: cfg.Oversample,
+			PowerIters: cfg.PowerIters,
+			Seed:       cfg.Seed + int64(j)*1_000_003,
+		}
+		var res *linalg.SVDResult
+		if cfg.UseCountSketch {
+			res = rsvd.SparseCW(blk, opts)
+		} else {
+			res = rsvd.Sparse(blk, opts)
+		}
+		level = append(level, res.US())
+	}
+	for len(level) > 1 {
+		var next []*linalg.Dense
+		for lo := 0; lo < len(level); lo += cfg.Branch {
+			hi := lo + cfg.Branch
+			if hi > len(level) {
+				hi = len(level)
+			}
+			res := linalg.SVDTrunc(linalg.HCat(level[lo:hi]...), cfg.Rank)
+			if len(level) <= cfg.Branch {
+				return res
+			}
+			next = append(next, res.US())
+		}
+		level = next
+	}
+	return linalg.SVDTrunc(level[0], cfg.Rank)
+}
+
+// Embedding runs Factorize and returns X = U√Σ.
+func Embedding(m *sparse.CSR, cfg Config) *linalg.Dense {
+	return Factorize(m, cfg).USqrtS()
+}
+
+// RightEmbeddingOf recovers Y = Ṽ√Σ (Ṽ = Σ⁻¹UᵀM, rows indexed by the n
+// matrix columns) for an externally held root SVD over matrix m.
+func RightEmbeddingOf(root *linalg.SVDResult, m *sparse.CSR) *linalg.Dense {
+	y := m.TMulDense(root.U)
+	scale := make([]float64, len(root.S))
+	for i, s := range root.S {
+		if s > 0 {
+			scale[i] = 1 / math.Sqrt(s)
+		}
+	}
+	return y.MulDiag(scale)
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/par"
+	"github.com/tree-svd/treesvd/internal/rsvd"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// blockCache is the per-level-1-block state kept between updates: the
+// compressed representation Ū = (U)_d(Σ)_d fed to level 2, and the tail
+// energy ‖(B)_d − B‖_F measured when the block was last factored (the
+// first term of Eqn. 2, free from the cached singular values).
+type blockCache struct {
+	us   *linalg.Dense
+	tail float64
+}
+
+// Stats counts the work done by the last Build or Update call.
+type Stats struct {
+	// Level1Rebuilt is |Z|: how many level-1 blocks were re-factored.
+	Level1Rebuilt int
+	// UpperRebuilt counts SVDs at levels ≥ 2 (affected ancestors + root).
+	UpperRebuilt int
+	// Skipped counts level-1 blocks served from cache.
+	Skipped int
+}
+
+// Tree is the dynamic Tree-SVD over a column-blocked DynRow proximity
+// matrix. The DynRow is owned by the caller (typically ppr.Proximity);
+// Tree reads blocks, tracks their rebuild state via MarkRebuilt, and keeps
+// all intermediate SVD results cached between snapshots.
+type Tree struct {
+	cfg Config
+	m   *sparse.DynRow
+
+	level1 []*blockCache
+	// upper[l][j] caches Ū of node j at tree level l+2 (level 2 is
+	// upper[0]); the root's full SVD lives in root instead. The last
+	// entry of upper always has a single node (the root's merge input is
+	// the level below it), except when the whole tree is a single chain.
+	upper [][]*linalg.Dense
+	root  *linalg.SVDResult
+	seq   int64 // per-factorization counter so randomized draws differ
+	stats Stats
+	built bool
+}
+
+// NewTree wraps a DynRow whose block partition was created with
+// cfg.Blocks() blocks. The realized block count may be smaller when the
+// matrix is narrow; the tree adapts.
+func NewTree(m *sparse.DynRow, cfg Config) *Tree {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Tree{cfg: cfg, m: m, level1: make([]*blockCache, m.NumBlocks())}
+}
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Stats returns the work counters of the last Build/Update.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// factorBlock runs the level-1 sparse randomized SVD on block j and
+// refreshes its cache and the DynRow baseline.
+func (t *Tree) factorBlock(j int) {
+	blk := t.m.BlockCSR(j)
+	frob := blk.FrobNorm()
+	opts := rsvd.Options{
+		Rank:       t.cfg.Rank,
+		Oversample: t.cfg.Oversample,
+		PowerIters: t.cfg.PowerIters,
+		Seed:       t.cfg.Seed + int64(j)*1_000_003 + t.seq*7_777_777,
+	}
+	var res *linalg.SVDResult
+	if t.cfg.UseCountSketch {
+		res = rsvd.SparseCW(blk, opts)
+	} else {
+		res = rsvd.Sparse(blk, opts)
+	}
+	t.level1[j] = &blockCache{us: res.US(), tail: res.TailEnergy(frob, t.cfg.Rank)}
+	t.m.MarkRebuilt(j)
+}
+
+// workers resolves the configured worker count.
+func (t *Tree) workers() int {
+	if t.cfg.Workers <= 1 {
+		return 1
+	}
+	return t.cfg.Workers
+}
+
+// Build runs the full static Tree-SVD (Algorithm 3) over the current
+// matrix: every level-1 block is factored and the whole tree is merged.
+func (t *Tree) Build() {
+	t.stats = Stats{}
+	t.seq++
+	par.For(len(t.level1), t.workers(), t.factorBlock)
+	t.stats.Level1Rebuilt = len(t.level1)
+	t.mergeAll()
+	t.built = true
+}
+
+// violates evaluates the Eqn. 2 trigger for level-1 block j:
+//
+//	‖(B^(t-i))_d − B^(t-i)‖_F + ‖D_j‖_F > √2·δ·‖B^t_j‖_F.
+//
+// Unbuilt blocks always violate.
+func (t *Tree) violates(j int) bool {
+	c := t.level1[j]
+	if c == nil {
+		return true
+	}
+	delta := t.m.DeltaFrobNorm(j)
+	if delta == 0 {
+		return false // untouched block: cache is exact
+	}
+	return c.tail+delta > math.Sqrt2*t.cfg.Delta*t.m.BlockFrobNorm(j)
+}
+
+// Update runs the lazy update (Algorithm 4): re-factor only the level-1
+// blocks violating Eqn. 2, then recompute the affected ancestors. Call it
+// after the proximity matrix absorbed a batch of edge events. It returns
+// the number of level-1 blocks rebuilt.
+func (t *Tree) Update() int {
+	if !t.built {
+		t.Build()
+		return t.stats.Level1Rebuilt
+	}
+	t.stats = Stats{}
+	t.seq++
+	var z []int
+	for j := range t.level1 {
+		if t.violates(j) {
+			z = append(z, j)
+		} else {
+			t.stats.Skipped++
+		}
+	}
+	if len(z) == 0 {
+		return 0 // every block within tolerance: cached embedding stands
+	}
+	dirty := make(map[int]bool, len(z))
+	par.For(len(z), t.workers(), func(i int) { t.factorBlock(z[i]) })
+	for _, j := range z {
+		dirty[j] = true
+	}
+	t.stats.Level1Rebuilt = len(z)
+	t.mergeDirty(dirty)
+	return len(z)
+}
+
+// mergeAll rebuilds the whole upper tree (Algorithm 3 levels 2..q).
+func (t *Tree) mergeAll() {
+	dirty := make(map[int]bool, len(t.level1))
+	for j := range t.level1 {
+		dirty[j] = true
+	}
+	t.mergeDirty(dirty)
+}
+
+// levelCounts returns the node counts per tree level, bottom-up, ending
+// with the single root.
+func (t *Tree) levelCounts() []int {
+	counts := []int{len(t.level1)}
+	for counts[len(counts)-1] > 1 {
+		c := counts[len(counts)-1]
+		counts = append(counts, (c+t.cfg.Branch-1)/t.cfg.Branch)
+	}
+	return counts
+}
+
+// childUS returns the cached compressed representation of node j at
+// 0-based level cl (cl 0 is the level-1 blocks).
+func (t *Tree) childUS(cl, j int) *linalg.Dense {
+	if cl == 0 {
+		return t.level1[j].us
+	}
+	return t.upper[cl-1][j]
+}
+
+// mergeDirty propagates rebuilt nodes up the tree (Algorithm 4 lines
+// 6-12): a parent is re-merged exactly when one of its children changed;
+// untouched subtrees are served from cache.
+func (t *Tree) mergeDirty(dirty map[int]bool) {
+	counts := t.levelCounts()
+	if len(counts) == 1 {
+		// Single level-1 block: its truncated SVD is the root.
+		t.root = linalg.SVDTrunc(t.level1[0].us, t.cfg.Rank)
+		t.stats.UpperRebuilt++
+		return
+	}
+	// Size the upper cache: one slice per intermediate level (2..q-1).
+	for len(t.upper) < len(counts)-2 {
+		li := len(t.upper)
+		t.upper = append(t.upper, make([]*linalg.Dense, counts[li+1]))
+	}
+	k := t.cfg.Branch
+	for cl := 0; cl+1 < len(counts); cl++ {
+		parentDirty := make(map[int]bool)
+		for j := range dirty {
+			parentDirty[j/k] = true
+		}
+		parents := make([]int, 0, len(parentDirty))
+		for pj := range parentDirty {
+			parents = append(parents, pj)
+		}
+		sort.Ints(parents)
+		isRootLevel := counts[cl+1] == 1
+		par.For(len(parents), t.workers(), func(pi int) {
+			pj := parents[pi]
+			lo := pj * k
+			hi := lo + k
+			if hi > counts[cl] {
+				hi = counts[cl]
+			}
+			children := make([]*linalg.Dense, 0, hi-lo)
+			for j := lo; j < hi; j++ {
+				children = append(children, t.childUS(cl, j))
+			}
+			res := linalg.SVDTrunc(linalg.HCat(children...), t.cfg.Rank)
+			if isRootLevel {
+				t.root = res
+			} else {
+				t.upper[cl][pj] = res.US()
+			}
+		})
+		t.stats.UpperRebuilt += len(parents)
+		dirty = parentDirty
+	}
+}
+
+// ForceRebuildBlock re-factors level-1 block j unconditionally and
+// propagates along its ancestor path, bypassing the Eqn. 2 trigger (used
+// by trigger ablations). It returns 1 (blocks rebuilt), or falls back to a
+// full Build when the tree has never been built.
+func (t *Tree) ForceRebuildBlock(j int) int {
+	if !t.built {
+		t.Build()
+		return t.stats.Level1Rebuilt
+	}
+	t.stats = Stats{}
+	t.seq++
+	t.factorBlock(j)
+	t.stats.Level1Rebuilt = 1
+	t.mergeDirty(map[int]bool{j: true})
+	return 1
+}
+
+// Root returns the root truncated SVD (U_{q,1})_d, (Σ_{q,1})_d. Build or
+// Update must have run.
+func (t *Tree) Root() *linalg.SVDResult {
+	if t.root == nil {
+		panic("core: Root before Build")
+	}
+	return t.root
+}
+
+// Embedding returns the subset embedding X = (U_{q,1})_d·√(Σ_{q,1})_d.
+func (t *Tree) Embedding() *linalg.Dense {
+	return t.Root().USqrtS()
+}
+
+// RightEmbedding recovers the right-factor embedding Y = Ṽ_d·√Σ with
+// Ṽ_d = Σ⁻¹·Uᵀ·M_S (Theorem 3.2), i.e. Yᵀ rows are indexed by graph
+// nodes. Net per-column scaling is 1/√σ, computed in one sparse pass.
+func (t *Tree) RightEmbedding() *linalg.Dense {
+	root := t.Root()
+	y := t.m.ToCSR().TMulDense(root.U) // n×d = Mᵀ·U
+	scale := make([]float64, len(root.S))
+	for i, s := range root.S {
+		if s > 0 {
+			scale[i] = 1 / math.Sqrt(s)
+		}
+	}
+	return y.MulDiag(scale)
+}
+
+// Matrix exposes the underlying proximity DynRow.
+func (t *Tree) Matrix() *sparse.DynRow { return t.m }
+
+// ReconstructionError returns ‖U·Σ·Ṽ − M‖_F with Ṽ = Σ⁻¹UᵀM, the
+// observable counterpart of the Theorem 3.2 guarantee (tests and
+// diagnostics; materializes a d×n dense intermediate).
+func (t *Tree) ReconstructionError() float64 {
+	root := t.Root()
+	if root.Rank() == 0 {
+		return t.m.FrobNorm()
+	}
+	csr := t.m.ToCSR()
+	vt := csr.TMulDense(root.U) // n×d = Mᵀ·U
+	// ‖M − U·Uᵀ·M‖²_F = ‖M‖²_F − ‖Uᵀ·M‖²_F (projection identity).
+	f := t.m.FrobNorm()
+	proj := vt.FrobNorm()
+	diff := f*f - proj*proj
+	if diff < 0 {
+		diff = 0
+	}
+	return math.Sqrt(diff)
+}
+
+func (t *Tree) String() string {
+	return fmt.Sprintf("TreeSVD(d=%d, k=%d, q=%d, b=%d, δ=%g)",
+		t.cfg.Rank, t.cfg.Branch, t.cfg.Levels, t.m.NumBlocks(), t.cfg.Delta)
+}

@@ -1,0 +1,304 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/graph"
+)
+
+func smallProfile() Profile {
+	return Profile{Name: "test", Nodes: 500, TargetEdges: 3000,
+		Communities: 5, Labeled: true, Snapshots: 6, Homophily: 0.8, Seed: 1}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	ds := Generate(smallProfile())
+	if err := ds.Stream.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Stream.BuildSnapshot(ds.Stream.NumSnapshots())
+	if g.NumEdges() < 3000 {
+		t.Fatalf("final edges %d < target 3000", g.NumEdges())
+	}
+	// Every node has an out-edge (mature-graph assumption).
+	for v := int32(0); v < 500; v++ {
+		if g.OutDeg(v) == 0 {
+			t.Fatalf("node %d has no out-edge", v)
+		}
+	}
+	if len(ds.Labels) != 500 {
+		t.Fatalf("labels length %d", len(ds.Labels))
+	}
+	for _, l := range ds.Labels {
+		if l < 0 || l >= 5 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallProfile())
+	b := Generate(smallProfile())
+	if len(a.Stream.Events) != len(b.Stream.Events) {
+		t.Fatal("event counts differ across runs")
+	}
+	for i := range a.Stream.Events {
+		if a.Stream.Events[i] != b.Stream.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	p := smallProfile()
+	p.Seed = 2
+	c := Generate(p)
+	same := len(a.Stream.Events) == len(c.Stream.Events)
+	if same {
+		identical := true
+		for i := range a.Stream.Events {
+			if a.Stream.Events[i] != c.Stream.Events[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds gave identical streams")
+		}
+	}
+}
+
+func TestGenerateSnapshotsMonotone(t *testing.T) {
+	ds := Generate(smallProfile())
+	if ds.Stream.NumSnapshots() != 6 {
+		t.Fatalf("snapshots %d, want 6", ds.Stream.NumSnapshots())
+	}
+	prevEdges := 0
+	for s := 1; s <= 6; s++ {
+		g := ds.Stream.BuildSnapshot(s)
+		if g.NumEdges() < prevEdges {
+			// Deletions could shrink a snapshot, but this profile has none.
+			t.Fatalf("snapshot %d has fewer edges (%d) than previous (%d)", s, g.NumEdges(), prevEdges)
+		}
+		prevEdges = g.NumEdges()
+	}
+}
+
+func TestGenerateWithDeletions(t *testing.T) {
+	p := smallProfile()
+	p.DeleteFrac = 0.1
+	ds := Generate(p)
+	dels := 0
+	for _, e := range ds.Stream.Events {
+		if e.Type == graph.Delete {
+			dels++
+		}
+	}
+	if dels == 0 {
+		t.Fatal("no deletions generated despite DeleteFrac=0.1")
+	}
+	// Replay must succeed and keep min out-degree ≥ 1.
+	g := ds.Stream.BuildSnapshot(ds.Stream.NumSnapshots())
+	for v := int32(0); int(v) < p.Nodes; v++ {
+		if g.OutDeg(v) == 0 {
+			t.Fatalf("node %d orphaned by deletions", v)
+		}
+	}
+}
+
+func TestHeavyTailDegrees(t *testing.T) {
+	ds := Generate(Profile{Name: "ht", Nodes: 2000, TargetEdges: 12000,
+		Communities: 4, Labeled: true, Snapshots: 3, Homophily: 0.7, Seed: 3})
+	g := ds.Stream.BuildSnapshot(3)
+	degs := make([]int, 2000)
+	for v := int32(0); v < 2000; v++ {
+		degs[v] = g.InDeg(v) + g.OutDeg(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	mean := float64(2*g.NumEdges()) / 2000
+	// Heavy tail: the max degree should be far above the mean.
+	if float64(degs[0]) < 5*mean {
+		t.Fatalf("max degree %d not heavy-tailed (mean %g)", degs[0], mean)
+	}
+}
+
+func TestHomophilyShapesTopology(t *testing.T) {
+	// With high homophily most edges stay within communities.
+	p := smallProfile()
+	p.Homophily = 0.9
+	ds := Generate(p)
+	g := ds.Stream.BuildSnapshot(ds.Stream.NumSnapshots())
+	within, total := 0, 0
+	for u := int32(0); int(u) < p.Nodes; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			total++
+			if ds.Labels[u] == ds.Labels[v] {
+				within++
+			}
+		}
+	}
+	frac := float64(within) / float64(total)
+	if frac < 0.55 {
+		t.Fatalf("within-community edge fraction %g too low for homophily 0.9", frac)
+	}
+	// And with zero homophily it should be much lower.
+	p.Homophily = 0
+	p.Seed = 9
+	ds0 := Generate(p)
+	g0 := ds0.Stream.BuildSnapshot(ds0.Stream.NumSnapshots())
+	within0, total0 := 0, 0
+	for u := int32(0); int(u) < p.Nodes; u++ {
+		for _, v := range g0.OutNeighbors(u) {
+			total0++
+			if ds0.Labels[u] == ds0.Labels[v] {
+				within0++
+			}
+		}
+	}
+	if f0 := float64(within0) / float64(total0); f0 >= frac {
+		t.Fatalf("homophily had no topological effect: %g vs %g", f0, frac)
+	}
+}
+
+func TestSampleSubset(t *testing.T) {
+	ds := Generate(smallProfile())
+	s := ds.SampleSubset(1, 50, 7)
+	if len(s) != 50 {
+		t.Fatalf("subset size %d", len(s))
+	}
+	g1 := ds.Stream.BuildSnapshot(1)
+	seen := map[int32]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatal("duplicate subset node")
+		}
+		seen[v] = true
+		if g1.OutDeg(v) == 0 {
+			t.Fatalf("subset node %d inactive at snapshot 1", v)
+		}
+	}
+	// Deterministic.
+	s2 := ds.SampleSubset(1, 50, 7)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("subset sampling not deterministic")
+		}
+	}
+}
+
+func TestLabelsFor(t *testing.T) {
+	ds := Generate(smallProfile())
+	s := ds.SampleSubset(1, 10, 1)
+	labels := ds.LabelsFor(s)
+	for i, v := range s {
+		if labels[i] != ds.Labels[v] {
+			t.Fatal("LabelsFor mismatch")
+		}
+	}
+}
+
+func TestLabelsForPanicsUnlabeled(t *testing.T) {
+	p := smallProfile()
+	p.Labeled = false
+	ds := Generate(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ds.LabelsFor([]int32{0})
+}
+
+func TestProfilesResolve(t *testing.T) {
+	for _, p := range AllProfiles() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got, err := ByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Fatalf("ByName(%s) failed: %v", p.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestProfileRatiosMatchPaper(t *testing.T) {
+	// The scaled profiles must keep the paper's edge/node ratios within a
+	// reasonable band (Table 3): e.g. Wikipedia is dense (~28.7), YouTube
+	// sparse (~2.9).
+	paper := map[string]float64{
+		"Patent": 14.0 / 2.7, "Mag-authors": 27.7 / 5.8, "Wikipedia": 178.0 / 6.2,
+		"YouTube": 9.4 / 3.2, "Flickr": 33.1 / 2.3, "Twitter": 1500.0 / 41.6,
+	}
+	for _, p := range AllProfiles() {
+		want := paper[p.Name]
+		got := float64(p.TargetEdges) / float64(p.Nodes)
+		if got < want*0.5 || got > want*2 {
+			t.Fatalf("%s: edge/node ratio %g, paper %g", p.Name, got, want)
+		}
+	}
+}
+
+func TestScaleProfile(t *testing.T) {
+	p := ScaleProfile(Patent(), 0.1)
+	if p.Nodes != 900 {
+		t.Fatalf("scaled nodes %d", p.Nodes)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny scale clamps to a generatable floor.
+	tiny := ScaleProfile(Patent(), 1e-6)
+	if err := tiny.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{Nodes: 1, TargetEdges: 10, Communities: 2, Snapshots: 1},
+		{Nodes: 10, TargetEdges: 5, Communities: 2, Snapshots: 1},
+		{Nodes: 10, TargetEdges: 40, Communities: 0, Snapshots: 1},
+		{Nodes: 10, TargetEdges: 40, Communities: 2, Snapshots: 0},
+		{Nodes: 10, TargetEdges: 40, Communities: 2, Snapshots: 1, Homophily: 2},
+		{Nodes: 10, TargetEdges: 40, Communities: 2, Snapshots: 1, DeleteFrac: 0.6},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestEventCountsRoughlyBalanced(t *testing.T) {
+	ds := Generate(smallProfile())
+	tau := ds.Stream.NumSnapshots()
+	per := float64(len(ds.Stream.Events)) / float64(tau)
+	for s := 1; s <= tau; s++ {
+		got := float64(len(ds.Stream.SnapshotEvents(s)))
+		if math.Abs(got-per) > per*0.5+2 {
+			t.Fatalf("snapshot %d has %g events, mean %g", s, got, per)
+		}
+	}
+}
+
+func TestSampleSubsetFromCommunities(t *testing.T) {
+	ds := Generate(smallProfile())
+	s := ds.SampleSubsetFromCommunities(1, 40, 3, 0, 1)
+	if len(s) == 0 {
+		t.Fatal("empty coherent subset")
+	}
+	for _, v := range s {
+		if l := ds.Labels[v]; l != 0 && l != 1 {
+			t.Fatalf("node %d has label %d outside requested communities", v, l)
+		}
+	}
+	// Deterministic.
+	s2 := ds.SampleSubsetFromCommunities(1, 40, 3, 0, 1)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("coherent sampling not deterministic")
+		}
+	}
+}

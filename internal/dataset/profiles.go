@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/tree-svd/treesvd/internal/graph"
+)
+
+// The profiles below mirror Table 3 of the paper scaled to sizes a single
+// CPU core can sweep: node counts shrink ~300-2000×, the edge/node ratio,
+// class count |C|, and snapshot count τ are preserved. Scale or Seed can
+// be overridden before Generate.
+
+// Patent mirrors the Patent citation graph (2.7M/14M, |C|=6, τ=25).
+func Patent() Profile {
+	return Profile{Name: "Patent", Nodes: 9000, TargetEdges: 46000,
+		Communities: 6, Labeled: true, Snapshots: 25, Homophily: 0.62, Seed: 101}
+}
+
+// MagAuthors mirrors Mag-authors (5.8M/27.7M, |C|=19, τ=9).
+func MagAuthors() Profile {
+	return Profile{Name: "Mag-authors", Nodes: 11000, TargetEdges: 52000,
+		Communities: 19, Labeled: true, Snapshots: 9, Homophily: 0.62, Seed: 102}
+}
+
+// Wikipedia mirrors the Wikipedia web-link graph (6.2M/178M, |C|=10, τ=20).
+func Wikipedia() Profile {
+	return Profile{Name: "Wikipedia", Nodes: 10000, TargetEdges: 280000,
+		Communities: 10, Labeled: true, Snapshots: 20, Homophily: 0.6, Seed: 103}
+}
+
+// YouTube mirrors the YouTube social network (3.2M/9.4M, τ=8, unlabeled).
+func YouTube() Profile {
+	return Profile{Name: "YouTube", Nodes: 10000, TargetEdges: 30000,
+		Communities: 12, Labeled: false, Snapshots: 8, Homophily: 0.75, Seed: 104}
+}
+
+// Flickr mirrors the Flickr social network (2.3M/33.1M, τ=6, unlabeled).
+func Flickr() Profile {
+	return Profile{Name: "Flickr", Nodes: 8000, TargetEdges: 115000,
+		Communities: 12, Labeled: false, Snapshots: 6, Homophily: 0.75, Seed: 105}
+}
+
+// Twitter mirrors the Twitter graph of Exp. 5 (41.6M/1.5B, τ=8,
+// unlabeled) — the scalability stress profile, largest of the suite.
+func Twitter() Profile {
+	return Profile{Name: "Twitter", Nodes: 24000, TargetEdges: 860000,
+		Communities: 16, Labeled: false, Snapshots: 8, Homophily: 0.7, Seed: 106}
+}
+
+// ByName resolves a profile by its (case-sensitive) Table 3 name.
+func ByName(name string) (Profile, error) {
+	for _, p := range AllProfiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("dataset: unknown profile %q", name)
+}
+
+// AllProfiles lists every built-in profile in Table 3 order.
+func AllProfiles() []Profile {
+	return []Profile{Patent(), MagAuthors(), Wikipedia(), YouTube(), Flickr(), Twitter()}
+}
+
+// ScaleProfile returns p resized by factor f (nodes and edges), keeping
+// everything else; used by quick tests and smoke benches.
+func ScaleProfile(p Profile, f float64) Profile {
+	p.Nodes = int(float64(p.Nodes) * f)
+	if p.Nodes < 16 {
+		p.Nodes = 16
+	}
+	p.TargetEdges = int(float64(p.TargetEdges) * f)
+	if p.TargetEdges < 4*p.Nodes {
+		p.TargetEdges = 4 * p.Nodes
+	}
+	return p
+}
+
+// SampleSubset draws `size` distinct nodes that already have an out-edge
+// at snapshot t (the paper samples S from the first snapshot's topology).
+func (d *Dataset) SampleSubset(t, size int, seed int64) []int32 {
+	g := d.Stream.BuildSnapshot(t)
+	var candidates []int32
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		if g.OutDeg(v) > 0 {
+			candidates = append(candidates, v)
+		}
+	}
+	if size > len(candidates) {
+		size = len(candidates)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(candidates), func(a, b int) {
+		candidates[a], candidates[b] = candidates[b], candidates[a]
+	})
+	out := append([]int32(nil), candidates[:size]...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// LabelsFor extracts the labels of the given nodes (panics on unlabeled
+// datasets).
+func (d *Dataset) LabelsFor(nodes []int32) []int {
+	if d.Labels == nil {
+		panic("dataset: " + d.Profile.Name + " is unlabeled")
+	}
+	out := make([]int, len(nodes))
+	for i, v := range nodes {
+		out[i] = d.Labels[v]
+	}
+	return out
+}
+
+// SnapshotGraph materializes the graph at snapshot t (1-based).
+func (d *Dataset) SnapshotGraph(t int) *graph.Graph { return d.Stream.BuildSnapshot(t) }
+
+// SampleSubsetFromCommunities draws `size` distinct active-at-snapshot-t
+// nodes whose label belongs to comms — the "subset of users with similar
+// properties (same age group, same city)" scenario of the paper's
+// conclusion. Labeled datasets only.
+func (d *Dataset) SampleSubsetFromCommunities(t, size int, seed int64, comms ...int) []int32 {
+	if d.Labels == nil {
+		panic("dataset: " + d.Profile.Name + " is unlabeled")
+	}
+	want := make(map[int]bool, len(comms))
+	for _, c := range comms {
+		want[c] = true
+	}
+	g := d.Stream.BuildSnapshot(t)
+	var candidates []int32
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		if g.OutDeg(v) > 0 && want[d.Labels[v]] {
+			candidates = append(candidates, v)
+		}
+	}
+	if size > len(candidates) {
+		size = len(candidates)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(candidates), func(a, b int) {
+		candidates[a], candidates[b] = candidates[b], candidates[a]
+	})
+	out := append([]int32(nil), candidates[:size]...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

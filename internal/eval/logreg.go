@@ -1,0 +1,198 @@
+// Package eval implements the downstream-task machinery of the paper's
+// evaluation: a one-vs-rest logistic-regression classifier for node
+// classification (micro/macro F1), and the link-prediction protocol of
+// Section 6.1 (70/30 edge split, balanced negative sampling, precision at
+// the balanced cut).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/tree-svd/treesvd/internal/linalg"
+)
+
+// LogRegConfig tunes the one-vs-rest logistic regression.
+type LogRegConfig struct {
+	// Epochs over the training set.
+	Epochs int
+	// LearningRate is the AdaGrad base step.
+	LearningRate float64
+	// L2 is the ridge penalty.
+	L2 float64
+	// Seed shuffles the sample order.
+	Seed int64
+}
+
+// DefaultLogRegConfig is adequate for embedding-quality comparison.
+func DefaultLogRegConfig() LogRegConfig {
+	return LogRegConfig{Epochs: 60, LearningRate: 0.5, L2: 1e-4, Seed: 1}
+}
+
+// LogReg is a one-vs-rest logistic-regression classifier with AdaGrad.
+type LogReg struct {
+	classes int
+	dim     int
+	w       *linalg.Dense // classes×(dim+1), last column is the bias
+}
+
+// TrainLogReg fits the classifier on rows of x with integer labels
+// y ∈ [0, classes).
+func TrainLogReg(x *linalg.Dense, y []int, classes int, cfg LogRegConfig) *LogReg {
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("eval: %d rows vs %d labels", x.Rows, len(y)))
+	}
+	if classes < 2 {
+		panic(fmt.Sprintf("eval: %d classes", classes))
+	}
+	m := &LogReg{classes: classes, dim: x.Cols, w: linalg.NewDense(classes, x.Cols+1)}
+	gsum := linalg.NewDense(classes, x.Cols+1)
+	for i := range gsum.Data {
+		gsum.Data[i] = 1e-8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(x.Rows)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, i := range order {
+			row := x.Row(i)
+			for c := 0; c < classes; c++ {
+				wrow := m.w.Row(c)
+				grow := gsum.Row(c)
+				z := wrow[x.Cols] + linalg.Dot(wrow[:x.Cols], row)
+				p := sigmoid(z)
+				target := 0.0
+				if y[i] == c {
+					target = 1
+				}
+				err := p - target
+				for j, xv := range row {
+					grad := err*xv + cfg.L2*wrow[j]
+					grow[j] += grad * grad
+					wrow[j] -= cfg.LearningRate * grad / math.Sqrt(grow[j])
+				}
+				gb := err
+				grow[x.Cols] += gb * gb
+				wrow[x.Cols] -= cfg.LearningRate * gb / math.Sqrt(grow[x.Cols])
+			}
+		}
+	}
+	return m
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Predict returns the argmax class per row of x.
+func (m *LogReg) Predict(x *linalg.Dense) []int {
+	if x.Cols != m.dim {
+		panic(fmt.Sprintf("eval: predict dim %d vs trained %d", x.Cols, m.dim))
+	}
+	out := make([]int, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		best, bestZ := 0, math.Inf(-1)
+		for c := 0; c < m.classes; c++ {
+			wrow := m.w.Row(c)
+			z := wrow[m.dim] + linalg.Dot(wrow[:m.dim], row)
+			if z > bestZ {
+				best, bestZ = c, z
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// MicroF1 computes the micro-averaged F1 of single-label predictions,
+// which for exhaustive single-label classification equals accuracy.
+func MicroF1(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("eval: prediction/truth length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// MacroF1 averages the per-class F1 over classes that appear in the truth.
+func MacroF1(pred, truth []int, classes int) float64 {
+	if len(pred) != len(truth) {
+		panic("eval: prediction/truth length mismatch")
+	}
+	tp := make([]int, classes)
+	fp := make([]int, classes)
+	fn := make([]int, classes)
+	present := make([]bool, classes)
+	for i := range pred {
+		present[truth[i]] = true
+		if pred[i] == truth[i] {
+			tp[pred[i]]++
+		} else {
+			fp[pred[i]]++
+			fn[truth[i]]++
+		}
+	}
+	var sum float64
+	count := 0
+	for c := 0; c < classes; c++ {
+		if !present[c] {
+			continue
+		}
+		count++
+		denom := float64(2*tp[c] + fp[c] + fn[c])
+		if denom > 0 {
+			sum += 2 * float64(tp[c]) / denom
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// TrainTestSplit partitions indices 0..n-1 into a train set of ⌈ratio·n⌉
+// elements and the complement, deterministically for a seed.
+func TrainTestSplit(n int, ratio float64, seed int64) (train, test []int) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	cut := int(math.Ceil(ratio * float64(n)))
+	if cut > n {
+		cut = n
+	}
+	return perm[:cut], perm[cut:]
+}
+
+// Classify is the end-to-end node-classification protocol: split rows,
+// train on the train rows, return micro and macro F1 on the test rows.
+func Classify(x *linalg.Dense, y []int, classes int, trainRatio float64, cfg LogRegConfig) (micro, macro float64) {
+	train, test := TrainTestSplit(x.Rows, trainRatio, cfg.Seed)
+	xtr := linalg.NewDense(len(train), x.Cols)
+	ytr := make([]int, len(train))
+	for i, r := range train {
+		copy(xtr.Row(i), x.Row(r))
+		ytr[i] = y[r]
+	}
+	model := TrainLogReg(xtr, ytr, classes, cfg)
+	xte := linalg.NewDense(len(test), x.Cols)
+	yte := make([]int, len(test))
+	for i, r := range test {
+		copy(xte.Row(i), x.Row(r))
+		yte[i] = y[r]
+	}
+	pred := model.Predict(xte)
+	return MicroF1(pred, yte), MacroF1(pred, yte, classes)
+}

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEvents hardens the stream parser: arbitrary input must either
+// parse into a stream whose invariants validate, or return an error —
+// never panic.
+func FuzzReadEvents(f *testing.F) {
+	f.Add("# nodes 5 snapshots 2\nend 1\nend 2\n0 1 +\n1 2 +\n")
+	f.Add("# nodes 3 snapshots 1\nend 1\n0 1 -\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Add("# nodes 2 snapshots 0\n0 1 +\n0 1 +\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadEvents(bytes.NewBufferString(input))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ReadEvents accepted a stream that fails Validate: %v", err)
+		}
+		// Round-trip: what parses must re-serialize and re-parse equal.
+		var buf bytes.Buffer
+		if s.NumNodes == 0 && len(s.Events) > 0 {
+			return // writer would produce events outside the node bound
+		}
+		if err := s.WriteEvents(&buf); err != nil {
+			t.Fatalf("WriteEvents failed on parsed stream: %v", err)
+		}
+		s2, err := ReadEvents(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(s2.Events) != len(s.Events) || len(s2.Ends) != len(s.Ends) {
+			t.Fatal("round-trip changed the stream shape")
+		}
+	})
+}

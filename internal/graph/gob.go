@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// gobGraph is the wire form of a Graph. Both adjacency directions are
+// stored verbatim (flattened, with per-node offsets): neighbor order
+// affects the processing order of push queues downstream, so a loaded
+// graph must be indistinguishable from the original, not merely
+// edge-equivalent.
+type gobGraph struct {
+	Version uint8
+	N       int
+	OutPtr  []int32
+	OutAdj  []int32
+	InPtr   []int32
+	InAdj   []int32
+}
+
+const gobGraphVersion = 2
+
+func flatten(adj [][]int32) (ptr, flat []int32) {
+	ptr = make([]int32, len(adj)+1)
+	for i, s := range adj {
+		ptr[i+1] = ptr[i] + int32(len(s))
+		flat = append(flat, s...)
+	}
+	return ptr, flat
+}
+
+// GobEncode implements gob.GobEncoder.
+func (g *Graph) GobEncode() ([]byte, error) {
+	wire := gobGraph{Version: gobGraphVersion, N: g.NumNodes()}
+	wire.OutPtr, wire.OutAdj = flatten(g.out)
+	wire.InPtr, wire.InAdj = flatten(g.in)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (g *Graph) GobDecode(data []byte) error {
+	var wire gobGraph
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return err
+	}
+	if wire.Version != gobGraphVersion {
+		return fmt.Errorf("graph: gob version %d, want %d", wire.Version, gobGraphVersion)
+	}
+	*g = *New(wire.N)
+	for v := 0; v < wire.N; v++ {
+		g.out[v] = append([]int32(nil), wire.OutAdj[wire.OutPtr[v]:wire.OutPtr[v+1]]...)
+		g.in[v] = append([]int32(nil), wire.InAdj[wire.InPtr[v]:wire.InPtr[v+1]]...)
+	}
+	for u := int32(0); int(u) < wire.N; u++ {
+		for _, v := range g.out[u] {
+			g.edges[edgeKey(u, v)] = struct{}{}
+			g.m++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+func TestGraphGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := New(30)
+	for i := 0; i < 150; i++ {
+		g.InsertEdge(int32(rng.Intn(30)), int32(rng.Intn(30)))
+	}
+	// Some deletions so adjacency order reflects swap-removes.
+	for i := 0; i < 20; i++ {
+		u := int32(rng.Intn(30))
+		if nbrs := g.OutNeighbors(u); len(nbrs) > 1 {
+			g.DeleteEdge(u, nbrs[rng.Intn(len(nbrs))])
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		t.Fatal(err)
+	}
+	g2 := &Graph{}
+	if err := gob.NewDecoder(&buf).Decode(g2); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d nodes, %d/%d edges",
+			g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+	}
+	// Adjacency order must be preserved verbatim in both directions —
+	// downstream push queues depend on it for reproducibility.
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		for dir := range []Direction{Forward, Reverse} {
+			a, b := g.Neighbors(v, Direction(dir)), g2.Neighbors(v, Direction(dir))
+			if len(a) != len(b) {
+				t.Fatalf("node %d dir %d degree mismatch", v, dir)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("node %d dir %d adjacency order differs at %d", v, dir, i)
+				}
+			}
+		}
+	}
+	// Edge set behaves.
+	if !g2.HasEdge(g.OutNeighbors(0)[0], 0) && g2.HasEdge(0, g.OutNeighbors(0)[0]) != g.HasEdge(0, g.OutNeighbors(0)[0]) {
+		t.Fatal("edge set inconsistent after decode")
+	}
+	// Mutations still work on the decoded graph.
+	before := g2.NumEdges()
+	g2.InsertEdge(28, 29)
+	if g2.NumEdges() != before+1 && g.HasEdge(28, 29) == false {
+		t.Fatal("decoded graph not mutable")
+	}
+}

@@ -1,0 +1,31 @@
+package linalg
+
+import "sort"
+
+// symEigTol is the relative off-diagonal tolerance at which the cyclic
+// Jacobi iteration is considered converged.
+const symEigTol = 1e-12
+
+// symEigMaxSweeps bounds the number of Jacobi sweeps. Cyclic Jacobi
+// converges quadratically; well-conditioned inputs need < 10 sweeps.
+const symEigMaxSweeps = 60
+
+// sortEig reorders eigenpairs so eigenvalues are descending.
+func sortEig(lambda []float64, v *Dense) {
+	n := len(lambda)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return lambda[idx[a]] > lambda[idx[b]] })
+	newL := make([]float64, n)
+	newV := NewDense(v.Rows, v.Cols)
+	for to, from := range idx {
+		newL[to] = lambda[from]
+		for r := 0; r < v.Rows; r++ {
+			newV.Set(r, to, v.At(r, from))
+		}
+	}
+	copy(lambda, newL)
+	copy(v.Data, newV.Data)
+}

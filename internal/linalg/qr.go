@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// qrDeflationTol is the relative column-norm floor below which QRThin
+// treats a column as numerically dependent on its predecessors.
+const qrDeflationTol = 1e-13
+
+// QRThin computes the thin QR factorization A = Q·R of an m×n matrix with
+// m ≥ n using Householder reflections. Q is m×n with orthonormal columns
+// and R is n×n upper triangular.
+//
+// The working matrix is held transposed so that every Householder vector
+// and every column it touches is a contiguous slice — the inner loops are
+// pure []float64 traversals.
+func QRThin(a *Dense) (q, r *Dense) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("linalg: QRThin requires rows ≥ cols, got %d×%d", m, n))
+	}
+	wt := a.T() // wt.Row(k) is column k of A
+	betas := make([]float64, n)
+	v0 := make([]float64, n)
+	// Deflation floor: a column whose remaining norm is rounding noise
+	// relative to the input must not seed a reflector — on rank-deficient
+	// inputs such junk reflectors amplify noise exponentially across
+	// steps. The column is zeroed instead (R gets an exact zero).
+	floor := qrDeflationTol * Norm2(a.Data)
+	for k := 0; k < n; k++ {
+		col := wt.Row(k)
+		var norm float64
+		for _, x := range col[k:] {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm <= floor {
+			for i := k; i < m; i++ {
+				col[i] = 0
+			}
+			continue
+		}
+		alpha := col[k]
+		s := norm
+		if alpha > 0 {
+			s = -norm
+		}
+		v0[k] = alpha - s
+		col[k] = s
+		vtv := v0[k] * v0[k]
+		for _, x := range col[k+1:] {
+			vtv += x * x
+		}
+		if vtv == 0 {
+			continue
+		}
+		beta := 2 / vtv
+		betas[k] = beta
+		tail := col[k+1:]
+		for j := k + 1; j < n; j++ {
+			cj := wt.Row(j)
+			dot := v0[k] * cj[k]
+			cjTail := cj[k+1:]
+			for i, vv := range tail {
+				dot += vv * cjTail[i]
+			}
+			dot *= beta
+			cj[k] -= dot * v0[k]
+			for i, vv := range tail {
+				cjTail[i] -= dot * vv
+			}
+		}
+	}
+	r = NewDense(n, n)
+	for i := 0; i < n; i++ {
+		ri := r.Row(i)
+		for j := i; j < n; j++ {
+			ri[j] = wt.Row(j)[i]
+		}
+	}
+	// Accumulate Q (transposed: qt.Row(j) is column j of Q) by applying
+	// reflectors in reverse to the identity's first n columns.
+	qt := NewDense(n, m)
+	for j := 0; j < n; j++ {
+		qt.Row(j)[j] = 1
+	}
+	for k := n - 1; k >= 0; k-- {
+		beta := betas[k]
+		if beta == 0 {
+			continue
+		}
+		tail := wt.Row(k)[k+1:]
+		for j := 0; j < n; j++ {
+			cj := qt.Row(j)
+			dot := v0[k] * cj[k]
+			cjTail := cj[k+1:]
+			for i, vv := range tail {
+				dot += vv * cjTail[i]
+			}
+			dot *= beta
+			cj[k] -= dot * v0[k]
+			for i, vv := range tail {
+				cjTail[i] -= dot * vv
+			}
+		}
+	}
+	return qt.T(), r
+}
+
+// Orthonormalize replaces the columns of a with an orthonormal basis of
+// their span (the Q factor of a thin QR) and returns a. It is the
+// re-orthonormalization step of randomized subspace iteration.
+func Orthonormalize(a *Dense) *Dense {
+	q, _ := QRThin(a)
+	copy(a.Data, q.Data)
+	return a
+}

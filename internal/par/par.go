@@ -1,0 +1,85 @@
+// Package par provides the tiny worker-pool primitive used to
+// parallelize the embarrassingly parallel stages of the pipeline:
+// per-source PPR pushes, per-block level-1 factorizations and per-parent
+// tree merges. The paper's reference setup uses 64 threads; this library
+// mirrors that with a Workers knob (0 = GOMAXPROCS) threaded through the
+// public configs.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values < 1 mean GOMAXPROCS.
+func Workers(w int) int {
+	if w < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0,n) across at most w workers. With one
+// worker (or n ≤ 1) it degenerates to a plain loop — no goroutines, no
+// overhead, fully deterministic ordering.
+func For(n, w int, fn func(i int)) {
+	w = Workers(w)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForWorker is For with the worker index passed to fn, so callers can use
+// per-worker scratch state (e.g. one push engine per worker). Worker ids
+// are in [0, Workers(w)) and stable within one call.
+func ForWorker(n, w int, fn func(worker, i int)) {
+	w = Workers(w)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

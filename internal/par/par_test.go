@@ -1,0 +1,129 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		n := int(seed%50) + 1
+		w := int(seed%7) + 1
+		seen := make([]int32, n)
+		For(n, w, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
+
+func TestForSingleWorkerOrdered(t *testing.T) {
+	var order []int
+	For(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatal("single-worker For not sequential")
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Workers(0) != GOMAXPROCS")
+	}
+	if Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Workers(-3) != GOMAXPROCS")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("Workers(5) != 5")
+	}
+}
+
+func TestForParallelActuallyParallel(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-core machine")
+	}
+	var concurrent, peak int32
+	For(64, 8, func(int) {
+		c := atomic.AddInt32(&concurrent, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&concurrent, -1)
+	})
+	if peak < 2 {
+		t.Skip("no observed concurrency (scheduler-dependent)")
+	}
+}
+
+func TestForWorkerCoversAllIndices(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		n := int(seed%40) + 1
+		w := int(seed%5) + 1
+		seen := make([]int32, n)
+		workers := make([]int32, n)
+		ForWorker(n, w, func(worker, i int) {
+			atomic.AddInt32(&seen[i], 1)
+			atomic.StoreInt32(&workers[i], int32(worker))
+		})
+		resolved := Workers(w)
+		if resolved > n {
+			resolved = n
+		}
+		for i, c := range seen {
+			if c != 1 {
+				return false
+			}
+			if int(workers[i]) >= resolved && resolved > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForWorkerSequentialIsWorkerZero(t *testing.T) {
+	ForWorker(8, 1, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("sequential ForWorker used worker %d", worker)
+		}
+	})
+	ForWorker(0, 4, func(worker, i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForWorkerStableIDsWithinCall(t *testing.T) {
+	// Worker ids must stay in range even when w exceeds n.
+	ForWorker(3, 16, func(worker, i int) {
+		if worker < 0 || worker >= 3 {
+			t.Fatalf("worker id %d out of range for n=3", worker)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package ppr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/graph"
+)
+
+// TestStateGobRoundTripBehaviour: a saved+loaded state must evolve
+// identically to the original under the same events.
+func TestStateGobRoundTripBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randGraph(rng, 50, 200)
+	params := Params{Alpha: 0.15, RMax: 1e-3}
+	e := NewEngine(g, params)
+	st := NewState(4, graph.Forward)
+	e.Push(st)
+	// Some churn so the state is mid-life.
+	for i := 0; i < 20; i++ {
+		u, v := int32(rng.Intn(50)), int32(rng.Intn(50))
+		if u != v && g.InsertEdge(u, v) {
+			e.AdjustEvent(st, graph.Event{U: u, V: v, Type: graph.Insert})
+		}
+	}
+	e.Push(st)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	st2 := &State{}
+	if err := gob.NewDecoder(&buf).Decode(st2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same future: identical adjustments and pushes.
+	g2 := g // shared graph; apply events once, adjust both states
+	for i := 0; i < 30; i++ {
+		u, v := int32(rng.Intn(50)), int32(rng.Intn(50))
+		if u != v && g2.InsertEdge(u, v) {
+			e.AdjustEvent(st, graph.Event{U: u, V: v, Type: graph.Insert})
+			e.AdjustEvent(st2, graph.Event{U: u, V: v, Type: graph.Insert})
+		}
+	}
+	e.Push(st)
+	e.Push(st2)
+	if len(st.P) != len(st2.P) || len(st.R) != len(st2.R) {
+		t.Fatalf("state sizes diverge: P %d/%d R %d/%d", len(st.P), len(st2.P), len(st.R), len(st2.R))
+	}
+	for k, v := range st.P {
+		if math.Abs(st2.P[k]-v) > 0 {
+			t.Fatalf("P[%d] diverges: %g vs %g", k, v, st2.P[k])
+		}
+	}
+	for k, v := range st.R {
+		if math.Abs(st2.R[k]-v) > 0 {
+			t.Fatalf("R[%d] diverges: %g vs %g", k, v, st2.R[k])
+		}
+	}
+}

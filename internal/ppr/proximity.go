@@ -1,0 +1,131 @@
+package ppr
+
+import (
+	"math"
+
+	"github.com/tree-svd/treesvd/internal/graph"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// Transform selects the non-linear operation applied to the scaled PPR
+// scores (Section 2.2 of the paper: "e.g., log or sigmoid").
+type Transform uint8
+
+const (
+	// Log is the STRAP convention M = log(arg) for arg > 1, else 0.
+	Log Transform = iota
+	// Sigmoid maps arg > 1 to 2/(1+e^(−(arg−1))) − 1 ∈ (0,1): a bounded
+	// alternative that compresses heavy-tailed proximity scores harder.
+	Sigmoid
+)
+
+// Proximity maintains the STRAP-style proximity matrix of Section 3.1,
+//
+//	M_S(s,v) = f( p_s(v)/r_max + p⊤_s(v)/r_max ),
+//
+// kept only where the argument exceeds 1 (the STRAP convention of
+// retaining proximity scores no smaller than r_max), with f the chosen
+// Transform (log by default). It is stored in a column-blocked DynRow so
+// Tree-SVD's lazy update can read per-block Frobenius norms and deltas in
+// O(1).
+type Proximity struct {
+	Sub *Subset
+	M   *sparse.DynRow
+	// Fn is the non-linearity; the zero value is Log.
+	Fn Transform
+}
+
+// NewProximity builds the proximity matrix over maxNodes columns split
+// into nblocks column blocks. maxNodes must bound every node id the
+// dynamic stream will ever touch (graph growth never reallocates M).
+func NewProximity(sub *Subset, maxNodes, nblocks int) *Proximity {
+	pr := &Proximity{Sub: sub, M: sparse.NewDynRow(len(sub.S), maxNodes, nblocks)}
+	for i := range sub.S {
+		pr.refreshRowFull(i)
+	}
+	return pr
+}
+
+// RestoreProximity rewires a persisted proximity matrix onto a restored
+// Subset without recomputation. Used by the save/load path.
+func RestoreProximity(sub *Subset, m *sparse.DynRow) *Proximity {
+	return &Proximity{Sub: sub, M: m}
+}
+
+// value computes M_S(s,v) from the two estimate vectors.
+func (pr *Proximity) value(i int, v int32) float64 {
+	rmax := pr.Sub.Engine.Params.RMax
+	arg := (pr.Sub.Fwd[i].P[v] + pr.Sub.Rev[i].P[v]) / rmax
+	if arg <= 1 {
+		return 0
+	}
+	if pr.Fn == Sigmoid {
+		return 2/(1+math.Exp(-(arg-1))) - 1
+	}
+	return math.Log(arg)
+}
+
+// NewProximityWith builds the proximity matrix with an explicit transform.
+func NewProximityWith(sub *Subset, maxNodes, nblocks int, fn Transform) *Proximity {
+	pr := &Proximity{Sub: sub, M: sparse.NewDynRow(len(sub.S), maxNodes, nblocks), Fn: fn}
+	for i := range sub.S {
+		pr.refreshRowFull(i)
+	}
+	return pr
+}
+
+// refreshRowFull recomputes row i from scratch: every column currently in
+// the row or in either estimate vector.
+func (pr *Proximity) refreshRowFull(i int) {
+	// Clear stale columns first.
+	touched := make(map[int32]struct{})
+	for v := range pr.Sub.Fwd[i].P {
+		touched[v] = struct{}{}
+	}
+	for v := range pr.Sub.Rev[i].P {
+		touched[v] = struct{}{}
+	}
+	for v := range touched {
+		pr.M.Set(i, int(v), pr.value(i, v))
+	}
+	// Columns that held a value before but have no estimate mass now.
+	for _, v := range pr.M.RowColumns(i) {
+		if _, ok := touched[v]; !ok {
+			pr.M.Set(i, int(v), 0)
+		}
+	}
+	pr.drainTouched(i)
+}
+
+// Refresh folds the estimate changes accumulated in the states' Touched
+// sets into M and clears them. Call after Subset.ApplyEvents.
+func (pr *Proximity) Refresh() {
+	for i := range pr.Sub.S {
+		for v := range pr.Sub.Fwd[i].Touched {
+			pr.M.Set(i, int(v), pr.value(i, v))
+		}
+		for v := range pr.Sub.Rev[i].Touched {
+			pr.M.Set(i, int(v), pr.value(i, v))
+		}
+		pr.drainTouched(i)
+	}
+}
+
+// RefreshAll recomputes every row from scratch; pair with Subset.Rebuild.
+func (pr *Proximity) RefreshAll() {
+	for i := range pr.Sub.S {
+		pr.refreshRowFull(i)
+	}
+}
+
+func (pr *Proximity) drainTouched(i int) {
+	pr.Sub.Fwd[i].Touched = make(map[int32]struct{})
+	pr.Sub.Rev[i].Touched = make(map[int32]struct{})
+}
+
+// ApplyEvents advances the graph and the proximity matrix through a batch
+// of edge events: Algorithm 2 on every state, then incremental M refresh.
+func (pr *Proximity) ApplyEvents(events []graph.Event) {
+	pr.Sub.ApplyEvents(events)
+	pr.Refresh()
+}

@@ -1,0 +1,286 @@
+// Package ppr implements the personalized-PageRank machinery of the paper:
+// the Forward-Push algorithm of Andersen et al. (Algorithm 1), the dynamic
+// Forward-Push of Zhang et al. (Algorithm 2) that maintains estimate and
+// residue vectors across edge events, per-subset management of forward and
+// reverse PPR states, and the STRAP-style log-transformed proximity matrix.
+package ppr
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tree-svd/treesvd/internal/graph"
+)
+
+// Params are the PPR knobs: the decay factor α and the push threshold
+// r_max (Table 2). Smaller r_max means more accurate estimates at
+// O(1/r_max) push cost. Workers parallelizes per-source work (0 or 1 =
+// sequential; each worker gets its own push scratch).
+type Params struct {
+	Alpha   float64
+	RMax    float64
+	Workers int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("ppr: alpha %g outside (0,1)", p.Alpha)
+	}
+	if p.RMax <= 0 {
+		return fmt.Errorf("ppr: rmax %g must be positive", p.RMax)
+	}
+	return nil
+}
+
+// State holds the estimate vector p_s and residue vector r_s of one source
+// in one traversal direction, plus the set of nodes whose estimate changed
+// since the last Proximity refresh.
+type State struct {
+	Source int32
+	Dir    graph.Direction
+	P      map[int32]float64
+	R      map[int32]float64
+	// Touched collects nodes whose P entry changed since the caller last
+	// drained it (used to refresh proximity-matrix entries incrementally).
+	Touched map[int32]struct{}
+	// dirtyR collects nodes whose residue (or traversal degree) changed
+	// since the last Push, so re-pushing seeds in O(changed) instead of
+	// scanning the whole residue map. The push invariant guarantees no
+	// other node can violate the threshold.
+	dirtyR map[int32]struct{}
+}
+
+// NewState initializes a state with the one-hot residue r_s = 1_s.
+func NewState(source int32, dir graph.Direction) *State {
+	return &State{
+		Source:  source,
+		Dir:     dir,
+		P:       make(map[int32]float64),
+		R:       map[int32]float64{source: 1},
+		Touched: make(map[int32]struct{}),
+		dirtyR:  map[int32]struct{}{source: {}},
+	}
+}
+
+// Engine runs push operations for states over a shared graph, reusing
+// scratch queues across sources.
+type Engine struct {
+	G      *graph.Graph
+	Params Params
+
+	inQueue []bool
+	queue   []int32
+}
+
+// NewEngine creates an engine over g. The graph may keep growing; scratch
+// structures resize on demand.
+func NewEngine(g *graph.Graph, params Params) *Engine {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Engine{G: g, Params: params}
+}
+
+func (e *Engine) ensureScratch() {
+	if n := e.G.NumNodes(); len(e.inQueue) < n {
+		e.inQueue = make([]bool, n)
+	}
+}
+
+// degOrOne returns the traversal degree of u, treating dangling nodes as
+// having an implicit self-loop (degree 1), the standard sink convention.
+func (e *Engine) degOrOne(u int32, dir graph.Direction) float64 {
+	if d := e.G.Degree(u, dir); d > 0 {
+		return float64(d)
+	}
+	return 1
+}
+
+// Push runs the Forward-Push loop (Algorithm 1 lines 2-3 and the negative
+// counterpart of Algorithm 2 lines 8-11) until no node's |residue|/degree
+// exceeds r_max. It pushes positive and negative residues alike, so it
+// serves both the static build and the dynamic repair phase.
+func (e *Engine) Push(st *State) {
+	e.ensureScratch()
+	alpha, rmax := e.Params.Alpha, e.Params.RMax
+	// Seed the queue with the violating nodes among those whose residue
+	// or degree changed since the last Push; the push invariant ensures
+	// no other node can have crossed the threshold. The seeds are sorted
+	// so results do not depend on map iteration order — pushes are
+	// reproducible run-to-run and across worker counts.
+	e.queue = e.queue[:0]
+	for u := range st.dirtyR {
+		if abs(st.R[u]) > rmax*e.degOrOne(u, st.Dir) {
+			e.queue = append(e.queue, u)
+			e.inQueue[u] = true
+		}
+	}
+	sort.Slice(e.queue, func(a, b int) bool { return e.queue[a] < e.queue[b] })
+	st.dirtyR = make(map[int32]struct{})
+	for len(e.queue) > 0 {
+		u := e.queue[0]
+		e.queue = e.queue[1:]
+		e.inQueue[u] = false
+		ru := st.R[u]
+		if ru == 0 {
+			continue
+		}
+		deg := float64(e.G.Degree(u, st.Dir))
+		if abs(ru) <= rmax*maxf(deg, 1) {
+			continue
+		}
+		// PUSH(u): settle α·r at u, spread (1−α)·r across neighbors.
+		st.bumpP(u, alpha*ru)
+		delete(st.R, u)
+		if deg == 0 {
+			// Dangling sink: the (1−α) share self-loops back to u.
+			rem := (1 - alpha) * ru
+			st.R[u] = rem
+			if abs(rem) > rmax {
+				e.enqueue(u)
+			}
+			continue
+		}
+		share := (1 - alpha) * ru / deg
+		for _, v := range e.G.Neighbors(u, st.Dir) {
+			rv := st.R[v] + share
+			if rv == 0 {
+				delete(st.R, v)
+			} else {
+				st.R[v] = rv
+			}
+			if abs(rv) > rmax*e.degOrOne(v, st.Dir) {
+				e.enqueue(v)
+			}
+		}
+	}
+}
+
+func (e *Engine) enqueue(u int32) {
+	if !e.inQueue[u] {
+		e.inQueue[u] = true
+		e.queue = append(e.queue, u)
+	}
+}
+
+// bumpP adds delta to p_s(u) and records u as touched.
+func (st *State) bumpP(u int32, delta float64) {
+	if delta == 0 {
+		return
+	}
+	nv := st.P[u] + delta
+	if nv == 0 {
+		delete(st.P, u)
+	} else {
+		st.P[u] = nv
+	}
+	st.Touched[u] = struct{}{}
+}
+
+// AdjustEvent applies the estimate/residue corrections of Algorithm 2
+// (lines 1-7) for a single edge event. The graph must already reflect the
+// event (degrees are read post-event, which keeps both the insert and the
+// delete formulas well-defined for positive degrees). Corrections with a
+// zero estimate at the event's tail are no-ops and skipped.
+//
+// Sink transitions are handled exactly under the self-loop convention the
+// push engine uses for dangling nodes. When a sink a (all arriving mass
+// eventually absorbed, so p(a) equals the absorbed arrivals M) gains its
+// first real out-edge, each arrival now stops with probability α and
+// moves on otherwise: p'(a) = α·p(a) and r(b) += (1−α)·p(a). When a
+// degree-1 node loses its last out-edge the correction is the exact
+// inverse: p'(a) = p(a)/α and r(b) −= (1−α)·p(a)/α.
+func (e *Engine) AdjustEvent(st *State, ev graph.Event) {
+	a, b := ev.U, ev.V
+	if st.Dir == graph.Reverse {
+		a, b = b, a
+	}
+	if int(a) >= e.G.NumNodes() || int(b) >= e.G.NumNodes() {
+		return
+	}
+	e.adjustWithDeg(st, a, b, ev.Type, float64(e.G.Degree(a, st.Dir)))
+}
+
+// adjustWithDeg is AdjustEvent with the post-event traversal degree of a
+// supplied by the caller, so batched updates can record degrees while
+// mutating the graph and replay the per-source corrections in parallel
+// afterwards.
+func (e *Engine) adjustWithDeg(st *State, a, b int32, typ graph.EventType, d float64) {
+	// a's traversal degree changed, so its existing residue may now
+	// violate the push threshold even if no estimate mass moves.
+	st.dirtyR[a] = struct{}{}
+	pa := st.P[a]
+	if pa == 0 {
+		return
+	}
+	alpha := e.Params.Alpha
+	if typ == graph.Insert {
+		if d == 1 {
+			// Sink → degree 1: of the absorbed arrivals p(a), only the
+			// α-fraction still stops at a; the rest walks on to b.
+			st.setP(a, alpha*pa)
+			st.addR(b, (1-alpha)*pa)
+			return
+		}
+		pa *= d / (d - 1)
+		st.setP(a, pa)
+		st.addR(a, -pa/(d*alpha))
+		st.addR(b, (1-alpha)*pa/(d*alpha))
+	} else {
+		if d == 0 {
+			// Degree 1 → sink: every arrival is now absorbed at a; retract
+			// the (1−α)-share previously routed to b.
+			st.setP(a, pa/alpha)
+			st.addR(b, -(1-alpha)*pa/alpha)
+			return
+		}
+		pa *= d / (d + 1)
+		st.setP(a, pa)
+		st.addR(a, pa/(d*alpha))
+		st.addR(b, -(1-alpha)*pa/(d*alpha))
+	}
+}
+
+func (st *State) setP(u int32, v float64) {
+	if v == 0 {
+		delete(st.P, u)
+	} else {
+		st.P[u] = v
+	}
+	st.Touched[u] = struct{}{}
+}
+
+func (st *State) addR(u int32, delta float64) {
+	nv := st.R[u] + delta
+	if nv == 0 {
+		delete(st.R, u)
+	} else {
+		st.R[u] = nv
+	}
+	st.dirtyR[u] = struct{}{}
+}
+
+// ResidueL1 returns Σ|r|, an upper bound on the pointwise estimate error
+// (|p(u) − π(u)| ≤ Σ_v |r(v)| because every π_v(u) ≤ 1).
+func (st *State) ResidueL1() float64 {
+	var s float64
+	for _, r := range st.R {
+		s += abs(r)
+	}
+	return s
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

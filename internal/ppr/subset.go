@@ -1,0 +1,162 @@
+package ppr
+
+import (
+	"fmt"
+
+	"github.com/tree-svd/treesvd/internal/graph"
+	"github.com/tree-svd/treesvd/internal/par"
+)
+
+// Subset maintains forward and reverse PPR states for every node of a
+// subset S over one shared dynamic graph, implementing the per-snapshot
+// update loop of the paper: per edge event, adjust every state (Algorithm 2
+// lines 1-7), then re-push all violating residues (lines 8-11).
+//
+// Per-source work (initial pushes, event replay, repair pushes) is
+// embarrassingly parallel; with Params.Workers > 1 it fans out across a
+// worker pool, each worker owning its own push scratch.
+type Subset struct {
+	Engine *Engine
+	S      []int32
+	Fwd    []*State // forward PPR p_s, one per subset node (nil if disabled)
+	Rev    []*State // reverse-graph PPR p⊤_s, one per subset node (nil if disabled)
+
+	engines []*Engine // per-worker scratch engines sharing Engine.G
+}
+
+// NewSubset builds forward and reverse PPR states for every s ∈ S on the
+// current graph, running the initial pushes. Reverse states capture the
+// transposed-graph PPR used by the STRAP proximity (Section 3.1).
+func NewSubset(g *graph.Graph, s []int32, params Params) *Subset {
+	return NewSubsetDirs(g, s, params, true, true)
+}
+
+// NewSubsetDirs is NewSubset with per-direction control: hashing-based
+// methods like DynPPE only need the forward vectors.
+func NewSubsetDirs(g *graph.Graph, s []int32, params Params, fwd, rev bool) *Subset {
+	for _, v := range s {
+		if int(v) >= g.NumNodes() || v < 0 {
+			panic(fmt.Sprintf("ppr: subset node %d outside graph with %d nodes", v, g.NumNodes()))
+		}
+	}
+	sp := &Subset{Engine: NewEngine(g, params), S: append([]int32(nil), s...)}
+	w := sp.workers()
+	sp.engines = make([]*Engine, w)
+	sp.engines[0] = sp.Engine
+	for i := 1; i < w; i++ {
+		sp.engines[i] = NewEngine(g, params)
+	}
+	if fwd {
+		sp.Fwd = make([]*State, len(s))
+	}
+	if rev {
+		sp.Rev = make([]*State, len(s))
+	}
+	par.ForWorker(len(sp.S), w, func(worker, i int) {
+		eng := sp.engines[worker]
+		if fwd {
+			sp.Fwd[i] = NewState(sp.S[i], graph.Forward)
+			eng.Push(sp.Fwd[i])
+		}
+		if rev {
+			sp.Rev[i] = NewState(sp.S[i], graph.Reverse)
+			eng.Push(sp.Rev[i])
+		}
+	})
+	return sp
+}
+
+// RestoreSubset rebuilds a Subset from persisted states without running
+// any pushes (the states are taken as-is). Used by the save/load path.
+func RestoreSubset(g *graph.Graph, s []int32, params Params, fwd, rev []*State) *Subset {
+	sp := &Subset{Engine: NewEngine(g, params), S: append([]int32(nil), s...), Fwd: fwd, Rev: rev}
+	w := sp.workers()
+	sp.engines = make([]*Engine, w)
+	sp.engines[0] = sp.Engine
+	for i := 1; i < w; i++ {
+		sp.engines[i] = NewEngine(g, params)
+	}
+	return sp
+}
+
+// workers resolves the configured worker count (0/1 = sequential).
+func (sp *Subset) workers() int {
+	if sp.Engine.Params.Workers <= 1 {
+		return 1
+	}
+	return sp.Engine.Params.Workers
+}
+
+// appliedEvent records one effective graph mutation together with the
+// post-event degrees the Algorithm 2 corrections need, so the per-source
+// replay can run after (and independent of) the graph mutation.
+type appliedEvent struct {
+	ev      graph.Event
+	outDegU float64 // post-event out-degree of U (forward adjustment)
+	inDegV  float64 // post-event in-degree of V (reverse adjustment)
+}
+
+// ApplyEvents advances the shared graph through the events and
+// incrementally repairs every state. Cost O(|S|·(τ + 1/r_max)) per
+// Theorem 3.7's first term. The graph mutation is sequential (event order
+// matters); the per-source corrections and repair pushes run on the
+// worker pool.
+func (sp *Subset) ApplyEvents(events []graph.Event) {
+	g := sp.Engine.G
+	applied := make([]appliedEvent, 0, len(events))
+	for _, ev := range events {
+		if !g.Apply(ev) {
+			continue // duplicate insert / missing delete: graph unchanged
+		}
+		applied = append(applied, appliedEvent{
+			ev:      ev,
+			outDegU: float64(g.OutDeg(ev.U)),
+			inDegV:  float64(g.InDeg(ev.V)),
+		})
+	}
+	if len(applied) == 0 {
+		return
+	}
+	par.ForWorker(len(sp.S), sp.workers(), func(worker, i int) {
+		eng := sp.engines[worker]
+		if sp.Fwd != nil {
+			st := sp.Fwd[i]
+			for _, ae := range applied {
+				eng.adjustWithDeg(st, ae.ev.U, ae.ev.V, ae.ev.Type, ae.outDegU)
+			}
+			eng.Push(st)
+		}
+		if sp.Rev != nil {
+			st := sp.Rev[i]
+			for _, ae := range applied {
+				eng.adjustWithDeg(st, ae.ev.V, ae.ev.U, ae.ev.Type, ae.inDegV)
+			}
+			eng.Push(st)
+		}
+	})
+}
+
+// Rebuild recomputes every state from scratch on the current graph, the
+// O(|S|/r_max) fallback of Theorem 3.7 for very large batches.
+func (sp *Subset) Rebuild() {
+	par.ForWorker(len(sp.S), sp.workers(), func(worker, i int) {
+		eng := sp.engines[worker]
+		if sp.Fwd != nil {
+			sp.Fwd[i] = NewState(sp.S[i], graph.Forward)
+			eng.Push(sp.Fwd[i])
+		}
+		if sp.Rev != nil {
+			sp.Rev[i] = NewState(sp.S[i], graph.Reverse)
+			eng.Push(sp.Rev[i])
+		}
+	})
+}
+
+// RebuildThreshold reports whether a batch of size tau is past the point
+// where Theorem 3.7's min(τ + 1/r_max, |S|/r_max)-style accounting favors
+// recomputing each state from scratch: per source the incremental path
+// costs Θ(τ) correction work plus pushes, while a fresh push is bounded
+// by O(1/r_max).
+func (sp *Subset) RebuildThreshold(tau int) bool {
+	return float64(tau) > 1/sp.Engine.Params.RMax
+}

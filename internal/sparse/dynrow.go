@@ -1,0 +1,278 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tree-svd/treesvd/internal/linalg"
+)
+
+// DynRow is a mutable row-sparse matrix whose columns are partitioned into
+// contiguous blocks (the level-1 blocks of Tree-SVD). It maintains, per
+// block j, two quantities needed by the lazy-update trigger (Eqn. 2 of the
+// paper) in O(1) per entry update:
+//
+//   - ‖B_{1,j}^t‖²_F — the live squared Frobenius norm of the block, and
+//   - ‖D_j‖²_F — the squared Frobenius norm of the delta between the live
+//     block and its value at the block's last SVD rebuild (the baseline).
+//
+// Baselines are stored lazily: only entries touched since the last rebuild
+// keep their baseline value, so memory overhead is proportional to churn,
+// not to nnz. MarkRebuilt resets a block's baseline and recomputes its
+// Frobenius norm exactly, purging incremental floating-point drift.
+type DynRow struct {
+	rows, cols int
+	width      int // columns per block (last block may be narrower)
+	nblocks    int
+
+	// data[r][j] maps global column index → value within block j of row r.
+	data [][]map[int32]float64
+
+	frobSq  []float64 // per block: Σ v², maintained incrementally
+	deltaSq []float64 // per block: Σ (v − baseline)², maintained incrementally
+
+	// base[j] maps packed (row,col) → value at last rebuild, only for
+	// entries modified since that rebuild.
+	base []map[int64]float64
+
+	nnz      []int // per block live nnz
+	totalNNZ int
+}
+
+// NewDynRow creates a rows×cols matrix partitioned into nblocks column
+// blocks of near-equal width. The realized block count (NumBlocks) can be
+// smaller than requested when cols < nblocks.
+func NewDynRow(rows, cols, nblocks int) *DynRow {
+	if rows < 0 || cols <= 0 || nblocks <= 0 {
+		panic(fmt.Sprintf("sparse: NewDynRow invalid shape %d×%d / %d blocks", rows, cols, nblocks))
+	}
+	width := (cols + nblocks - 1) / nblocks
+	nb := (cols + width - 1) / width
+	m := &DynRow{
+		rows: rows, cols: cols, width: width, nblocks: nb,
+		data:    make([][]map[int32]float64, rows),
+		frobSq:  make([]float64, nb),
+		deltaSq: make([]float64, nb),
+		base:    make([]map[int64]float64, nb),
+		nnz:     make([]int, nb),
+	}
+	for r := range m.data {
+		m.data[r] = make([]map[int32]float64, nb)
+	}
+	for j := range m.base {
+		m.base[j] = make(map[int64]float64)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *DynRow) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *DynRow) Cols() int { return m.cols }
+
+// NumBlocks returns the realized number of column blocks.
+func (m *DynRow) NumBlocks() int { return m.nblocks }
+
+// BlockOf returns the block index containing column c.
+func (m *DynRow) BlockOf(c int) int { return c / m.width }
+
+// BlockRange returns the half-open column range [lo,hi) of block j.
+func (m *DynRow) BlockRange(j int) (lo, hi int) {
+	lo = j * m.width
+	hi = lo + m.width
+	if hi > m.cols {
+		hi = m.cols
+	}
+	return lo, hi
+}
+
+// NNZ returns the total number of stored entries.
+func (m *DynRow) NNZ() int { return m.totalNNZ }
+
+// BlockNNZ returns the number of stored entries in block j.
+func (m *DynRow) BlockNNZ(j int) int { return m.nnz[j] }
+
+// Get returns the (r,c) element.
+func (m *DynRow) Get(r, c int) float64 {
+	blk := m.data[r][c/m.width]
+	if blk == nil {
+		return 0
+	}
+	return blk[int32(c)]
+}
+
+func packKey(r, c int) int64 { return int64(r)<<32 | int64(int32(c)) }
+
+// Set assigns the (r,c) element, updating block norm and delta tracking.
+func (m *DynRow) Set(r, c int, v float64) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("sparse: Set (%d,%d) out of %d×%d", r, c, m.rows, m.cols))
+	}
+	j := c / m.width
+	blk := m.data[r][j]
+	var old float64
+	if blk != nil {
+		old = blk[int32(c)]
+	}
+	if old == v {
+		return
+	}
+	if blk == nil {
+		blk = make(map[int32]float64)
+		m.data[r][j] = blk
+	}
+	// Record the baseline the first time this entry moves after a rebuild.
+	key := packKey(r, c)
+	baseVal, seen := m.base[j][key]
+	if !seen {
+		baseVal = old
+		m.base[j][key] = old
+	}
+	dOld := old - baseVal
+	dNew := v - baseVal
+	m.deltaSq[j] += dNew*dNew - dOld*dOld
+	m.frobSq[j] += v*v - old*old
+	if old == 0 {
+		m.nnz[j]++
+		m.totalNNZ++
+	}
+	if v == 0 {
+		delete(blk, int32(c))
+		m.nnz[j]--
+		m.totalNNZ--
+	} else {
+		blk[int32(c)] = v
+	}
+}
+
+// BlockFrobNorm returns ‖B_{1,j}^t‖_F, the live Frobenius norm of block j.
+func (m *DynRow) BlockFrobNorm(j int) float64 {
+	f := m.frobSq[j]
+	if f < 0 {
+		f = 0 // incremental rounding
+	}
+	return math.Sqrt(f)
+}
+
+// DeltaFrobNorm returns ‖D_j‖_F, the Frobenius norm of the change of block
+// j since its last rebuild.
+func (m *DynRow) DeltaFrobNorm(j int) float64 {
+	d := m.deltaSq[j]
+	if d < 0 {
+		d = 0
+	}
+	return math.Sqrt(d)
+}
+
+// DirtyBlocks returns the indices of blocks with a non-empty delta since
+// their last rebuild.
+func (m *DynRow) DirtyBlocks() []int {
+	var out []int
+	for j := 0; j < m.nblocks; j++ {
+		if len(m.base[j]) > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// MarkRebuilt resets block j's baseline to its current contents and
+// recomputes its Frobenius norm exactly (purging incremental drift).
+// Call it after recomputing the block's SVD.
+func (m *DynRow) MarkRebuilt(j int) {
+	m.base[j] = make(map[int64]float64)
+	m.deltaSq[j] = 0
+	var f float64
+	for r := 0; r < m.rows; r++ {
+		for _, v := range m.data[r][j] {
+			f += v * v
+		}
+	}
+	m.frobSq[j] = f
+}
+
+// BlockCSR extracts block j as a CSR with columns rebased to start at 0.
+func (m *DynRow) BlockCSR(j int) *CSR {
+	lo, hi := m.BlockRange(j)
+	out := &CSR{Rows: m.rows, Cols: hi - lo, RowPtr: make([]int32, m.rows+1)}
+	out.ColIdx = make([]int32, 0, m.nnz[j])
+	out.Val = make([]float64, 0, m.nnz[j])
+	cols := make([]int32, 0, 64)
+	for r := 0; r < m.rows; r++ {
+		blk := m.data[r][j]
+		if len(blk) > 0 {
+			cols = cols[:0]
+			for c := range blk {
+				cols = append(cols, c)
+			}
+			sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+			for _, c := range cols {
+				out.ColIdx = append(out.ColIdx, c-int32(lo))
+				out.Val = append(out.Val, blk[c])
+			}
+		}
+		out.RowPtr[r+1] = int32(len(out.Val))
+	}
+	return out
+}
+
+// RowColumns returns the columns with stored entries in row r, unsorted.
+func (m *DynRow) RowColumns(r int) []int32 {
+	var out []int32
+	for j := 0; j < m.nblocks; j++ {
+		for c := range m.data[r][j] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ToCSR materializes the whole matrix as a CSR.
+func (m *DynRow) ToCSR() *CSR {
+	out := &CSR{Rows: m.rows, Cols: m.cols, RowPtr: make([]int32, m.rows+1)}
+	out.ColIdx = make([]int32, 0, m.totalNNZ)
+	out.Val = make([]float64, 0, m.totalNNZ)
+	cols := make([]int32, 0, 256)
+	for r := 0; r < m.rows; r++ {
+		cols = cols[:0]
+		for j := 0; j < m.nblocks; j++ {
+			for c := range m.data[r][j] {
+				cols = append(cols, c)
+			}
+		}
+		sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+		for _, c := range cols {
+			out.ColIdx = append(out.ColIdx, c)
+			out.Val = append(out.Val, m.data[r][int(c)/m.width][c])
+		}
+		out.RowPtr[r+1] = int32(len(out.Val))
+	}
+	return out
+}
+
+// FrobNorm returns the Frobenius norm of the whole matrix.
+func (m *DynRow) FrobNorm() float64 {
+	var f float64
+	for _, v := range m.frobSq {
+		if v > 0 {
+			f += v
+		}
+	}
+	return math.Sqrt(f)
+}
+
+// ToDense materializes densely (tests only).
+func (m *DynRow) ToDense() *linalg.Dense {
+	out := linalg.NewDense(m.rows, m.cols)
+	for r := 0; r < m.rows; r++ {
+		row := out.Row(r)
+		for j := 0; j < m.nblocks; j++ {
+			for c, v := range m.data[r][j] {
+				row[c] = v
+			}
+		}
+	}
+	return out
+}

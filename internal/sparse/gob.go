@@ -1,0 +1,80 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobDynRow is the wire form of a DynRow: shape, entries in row-major
+// order, and the per-block lazy-update bookkeeping (baselines, squared
+// norms) that must survive a save/load for Eqn. 2 triggers to stay exact.
+type gobDynRow struct {
+	Rows, Cols, Blocks int
+	EntryRow           []int32
+	EntryCol           []int32
+	EntryVal           []float64
+	FrobSq             []float64
+	DeltaSq            []float64
+	BaseKeys           [][]int64
+	BaseVals           [][]float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *DynRow) GobEncode() ([]byte, error) {
+	wire := gobDynRow{
+		Rows: m.rows, Cols: m.cols, Blocks: m.nblocks,
+		FrobSq:   append([]float64(nil), m.frobSq...),
+		DeltaSq:  append([]float64(nil), m.deltaSq...),
+		BaseKeys: make([][]int64, m.nblocks),
+		BaseVals: make([][]float64, m.nblocks),
+	}
+	for r := 0; r < m.rows; r++ {
+		for j := 0; j < m.nblocks; j++ {
+			for c, v := range m.data[r][j] {
+				wire.EntryRow = append(wire.EntryRow, int32(r))
+				wire.EntryCol = append(wire.EntryCol, c)
+				wire.EntryVal = append(wire.EntryVal, v)
+			}
+		}
+	}
+	for j := 0; j < m.nblocks; j++ {
+		for k, v := range m.base[j] {
+			wire.BaseKeys[j] = append(wire.BaseKeys[j], k)
+			wire.BaseVals[j] = append(wire.BaseVals[j], v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *DynRow) GobDecode(data []byte) error {
+	var wire gobDynRow
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return err
+	}
+	*m = *NewDynRow(wire.Rows, wire.Cols, wire.Blocks)
+	// Raw insert (no delta tracking — bookkeeping is restored verbatim
+	// below).
+	for i := range wire.EntryRow {
+		r, c, v := int(wire.EntryRow[i]), wire.EntryCol[i], wire.EntryVal[i]
+		j := int(c) / m.width
+		if m.data[r][j] == nil {
+			m.data[r][j] = make(map[int32]float64)
+		}
+		m.data[r][j][c] = v
+		m.nnz[j]++
+		m.totalNNZ++
+	}
+	copy(m.frobSq, wire.FrobSq)
+	copy(m.deltaSq, wire.DeltaSq)
+	for j := range wire.BaseKeys {
+		for i, k := range wire.BaseKeys[j] {
+			m.base[j][k] = wire.BaseVals[j][i]
+		}
+	}
+	return nil
+}

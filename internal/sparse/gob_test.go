@@ -1,0 +1,58 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+func TestDynRowGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewDynRow(8, 40, 5)
+	for i := 0; i < 200; i++ {
+		m.Set(rng.Intn(8), rng.Intn(40), rng.NormFloat64())
+	}
+	// Rebuild some blocks, then churn more so baselines are non-trivial.
+	m.MarkRebuilt(1)
+	m.MarkRebuilt(3)
+	for i := 0; i < 100; i++ {
+		m.Set(rng.Intn(8), rng.Intn(40), rng.NormFloat64())
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	m2 := &DynRow{}
+	if err := gob.NewDecoder(&buf).Decode(m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Rows() != m.Rows() || m2.Cols() != m.Cols() || m2.NumBlocks() != m.NumBlocks() || m2.NNZ() != m.NNZ() {
+		t.Fatal("shape/nnz mismatch after decode")
+	}
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < m.Cols(); c++ {
+			if m.Get(r, c) != m2.Get(r, c) {
+				t.Fatalf("entry (%d,%d) differs", r, c)
+			}
+		}
+	}
+	for j := 0; j < m.NumBlocks(); j++ {
+		if m.BlockFrobNorm(j) != m2.BlockFrobNorm(j) {
+			t.Fatalf("block %d frob differs", j)
+		}
+		if m.DeltaFrobNorm(j) != m2.DeltaFrobNorm(j) {
+			t.Fatalf("block %d delta differs", j)
+		}
+		if m.BlockNNZ(j) != m2.BlockNNZ(j) {
+			t.Fatalf("block %d nnz differs", j)
+		}
+	}
+	// Future mutations track identically (baselines restored).
+	m.Set(0, 0, 3.5)
+	m2.Set(0, 0, 3.5)
+	if m.DeltaFrobNorm(0) != m2.DeltaFrobNorm(0) {
+		t.Fatal("delta tracking diverges after decode")
+	}
+}

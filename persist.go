@@ -1,0 +1,73 @@
+package treesvd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/tree-svd/treesvd/internal/core"
+	"github.com/tree-svd/treesvd/internal/graph"
+	"github.com/tree-svd/treesvd/internal/ppr"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// persistVersion guards the save format; bump on incompatible changes.
+const persistVersion = 1
+
+// savedEmbedder is the gob wire form of an Embedder: configuration,
+// subset, the dynamic graph, every PPR state, the proximity matrix with
+// its lazy-update bookkeeping, and the tree's cached factorizations.
+// Loading restores the exact maintenance state — subsequent ApplyEvents
+// behave as if the process had never restarted.
+type savedEmbedder struct {
+	Version int
+	Config  Config
+	Subset  []int32
+	Graph   *graph.Graph
+	Fwd     []*ppr.State
+	Rev     []*ppr.State
+	M       *sparse.DynRow
+	Tree    *core.TreeSnapshot
+}
+
+// Save serializes the embedder's complete state to w (gob encoding).
+func (e *Embedder) Save(w io.Writer) error {
+	saved := savedEmbedder{
+		Version: persistVersion,
+		Config:  e.cfg,
+		Subset:  e.subset,
+		Graph:   e.prox.Sub.Engine.G,
+		Fwd:     e.prox.Sub.Fwd,
+		Rev:     e.prox.Sub.Rev,
+		M:       e.prox.M,
+		Tree:    e.tree.Snapshot(),
+	}
+	return gob.NewEncoder(w).Encode(&saved)
+}
+
+// Load restores an Embedder previously written by Save.
+func Load(r io.Reader) (*Embedder, error) {
+	var saved savedEmbedder
+	if err := gob.NewDecoder(r).Decode(&saved); err != nil {
+		return nil, fmt.Errorf("treesvd: decode: %w", err)
+	}
+	if saved.Version != persistVersion {
+		return nil, fmt.Errorf("treesvd: save format version %d, want %d", saved.Version, persistVersion)
+	}
+	cfg := saved.Config.withDefaults()
+	params := ppr.Params{Alpha: cfg.Alpha, RMax: cfg.RMax, Workers: cfg.Workers}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	sub := ppr.RestoreSubset(saved.Graph, saved.Subset, params, saved.Fwd, saved.Rev)
+	prox := ppr.RestoreProximity(sub, saved.M)
+	tcfg := core.Config{
+		Rank: cfg.Dim, Branch: cfg.Branch, Levels: cfg.Levels,
+		Delta: cfg.Delta, Seed: cfg.Seed, Workers: cfg.Workers,
+	}
+	tree, err := core.RestoreTree(saved.M, tcfg, saved.Tree)
+	if err != nil {
+		return nil, err
+	}
+	return &Embedder{cfg: cfg, subset: saved.Subset, prox: prox, tree: tree}, nil
+}

@@ -1,0 +1,110 @@
+package treesvd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := buildGraph(rng, 60, 240)
+	subset := []int32{2, 4, 8, 16, 32, 48}
+	cfg := Config{Dim: 8, MaxNodes: 80}
+	emb, err := New(g, subset, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance through a batch so the state is non-trivial (deltas,
+	// baselines, cached blocks).
+	var events []Event
+	for len(events) < 30 {
+		u, v := int32(rng.Intn(60)), int32(rng.Intn(60))
+		if u != v {
+			events = append(events, Event{U: u, V: v, Type: Insert})
+		}
+	}
+	emb.ApplyEvents(events)
+
+	var buf bytes.Buffer
+	if err := emb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical embeddings immediately after load.
+	a, b := emb.Embedding(), loaded.Embedding()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("embedding differs after load at (%d,%d)", i, j)
+			}
+		}
+	}
+	if got := loaded.Subset(); len(got) != len(subset) || got[0] != subset[0] {
+		t.Fatal("subset not restored")
+	}
+	if loaded.Graph().NumEdges() != emb.Graph().NumEdges() {
+		t.Fatal("graph not restored")
+	}
+
+	// Identical behavior on further updates: apply the same batch to
+	// both and compare.
+	var more []Event
+	for len(more) < 40 {
+		u, v := int32(rng.Intn(70)), int32(rng.Intn(70))
+		if u != v {
+			more = append(more, Event{U: u, V: v, Type: Insert})
+		}
+	}
+	r1 := emb.ApplyEvents(more)
+	r2 := loaded.ApplyEvents(more)
+	if r1 != r2 {
+		t.Fatalf("rebuild counts diverge after load: %d vs %d", r1, r2)
+	}
+	// Incremental Frobenius bookkeeping accumulates in map-iteration
+	// order, so post-update states can differ by float reassociation
+	// (~1 ulp); anything beyond that is real state loss.
+	a, b = emb.Embedding(), loaded.Embedding()
+	for i := range a {
+		for j := range a[i] {
+			if d := a[i][j] - b[i][j]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("post-update embedding differs at (%d,%d): %g vs %g", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadPreservesRightEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := buildGraph(rng, 40, 160)
+	emb, err := New(g, []int32{1, 3, 5, 7}, Config{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := emb.RightEmbedding(), loaded.RightEmbedding()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("right embedding differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}

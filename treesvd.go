@@ -1,0 +1,296 @@
+// Package treesvd is the public facade of the Tree-SVD library: efficient
+// subset node embedding over large dynamic graphs via hierarchical
+// truncated SVD with lazy updates (SIGMOD 2023).
+//
+// The typical lifecycle is:
+//
+//	g := treesvd.NewGraph()                    // or load an event stream
+//	g.InsertEdge(0, 1); ...
+//	emb, err := treesvd.New(g, subset, treesvd.Defaults())
+//	X := emb.Embedding()                       // |S|×d subset embedding
+//	...
+//	emb.ApplyEvents(events)                    // graph changed
+//	X = emb.Embedding()                        // lazily-updated embedding
+//
+// New runs the full pipeline: Forward-Push personalized PageRank on the
+// graph and its reverse (Algorithms 1-2 of the paper), the STRAP-style
+// log-transformed proximity matrix, and the hierarchical Tree-SVD
+// factorization (Algorithm 3). ApplyEvents maintains everything
+// incrementally: dynamic Forward-Push repairs the PPR estimates, the
+// proximity matrix absorbs the changes with per-block Frobenius
+// bookkeeping, and only blocks violating the Lemma 3.4 trigger are
+// re-factored (Algorithm 4).
+package treesvd
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tree-svd/treesvd/internal/core"
+	"github.com/tree-svd/treesvd/internal/graph"
+	"github.com/tree-svd/treesvd/internal/ppr"
+)
+
+// Graph is a dynamic directed graph. The zero value is not usable; call
+// NewGraph.
+type Graph = graph.Graph
+
+// Event is an edge insertion or deletion.
+type Event = graph.Event
+
+// Event types.
+const (
+	Insert = graph.Insert
+	Delete = graph.Delete
+)
+
+// NewGraph returns an empty dynamic graph; nodes are created on demand by
+// InsertEdge.
+func NewGraph() *Graph { return graph.New(0) }
+
+// NewGraphN returns a dynamic graph with n isolated nodes.
+func NewGraphN(n int) *Graph { return graph.New(n) }
+
+// Config bundles every knob of the pipeline. Zero values are replaced by
+// the Defaults() counterparts.
+type Config struct {
+	// Dim is the embedding dimension d (default 32).
+	Dim int
+	// Alpha is the PPR decay factor (default 0.15).
+	Alpha float64
+	// RMax is the Forward-Push threshold (default 1e-4); smaller is more
+	// accurate and more expensive.
+	RMax float64
+	// Branch (k, default 8) and Levels (q, default 3) set the tree shape;
+	// the proximity matrix is split into k^(q-1) column blocks.
+	Branch, Levels int
+	// Delta is the lazy-update threshold δ of Eqn. 2. Zero selects the
+	// default 0.65; pass a tiny positive value (e.g. 1e-12) to force
+	// eager re-factorization of every touched block.
+	Delta float64
+	// MaxNodes bounds node ids the graph will ever reach. 0 means "the
+	// graph's current size"; set it when the stream will grow the graph.
+	MaxNodes int
+	// Seed drives the randomized factorization (default 1).
+	Seed int64
+	// Workers parallelizes per-source PPR work and per-block
+	// factorizations (0 or 1 = sequential). Results are identical for any
+	// worker count.
+	Workers int
+}
+
+// Defaults returns the paper's configuration (scaled d).
+func Defaults() Config {
+	return Config{Dim: 32, Alpha: 0.15, RMax: 1e-4, Branch: 8, Levels: 3, Delta: 0.65, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.Dim <= 0 {
+		c.Dim = d.Dim
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.RMax <= 0 {
+		c.RMax = d.RMax
+	}
+	if c.Branch <= 0 {
+		c.Branch = d.Branch
+	}
+	if c.Levels <= 0 {
+		c.Levels = d.Levels
+	}
+	if c.Delta == 0 {
+		c.Delta = d.Delta
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// Embedder maintains subset embeddings over a dynamic graph.
+type Embedder struct {
+	cfg    Config
+	subset []int32
+	prox   *ppr.Proximity
+	tree   *core.Tree
+}
+
+// New builds the initial embedding state for subset over g. The graph is
+// retained and mutated by ApplyEvents; callers must not mutate it
+// directly afterwards.
+func New(g *Graph, subset []int32, cfg Config) (*Embedder, error) {
+	cfg = cfg.withDefaults()
+	if len(subset) == 0 {
+		return nil, fmt.Errorf("treesvd: empty subset")
+	}
+	for _, v := range subset {
+		if v < 0 || int(v) >= g.NumNodes() {
+			return nil, fmt.Errorf("treesvd: subset node %d outside graph with %d nodes", v, g.NumNodes())
+		}
+		if g.OutDeg(v) == 0 {
+			return nil, fmt.Errorf("treesvd: subset node %d has no out-edges; PPR from it is degenerate", v)
+		}
+	}
+	params := ppr.Params{Alpha: cfg.Alpha, RMax: cfg.RMax, Workers: cfg.Workers}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	tcfg := core.Config{
+		Rank: cfg.Dim, Branch: cfg.Branch, Levels: cfg.Levels,
+		Delta: cfg.Delta, Seed: cfg.Seed, Workers: cfg.Workers,
+	}
+	if err := tcfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := cfg.MaxNodes
+	if maxNodes < g.NumNodes() {
+		maxNodes = g.NumNodes()
+	}
+	sub := ppr.NewSubset(g, subset, params)
+	prox := ppr.NewProximity(sub, maxNodes, tcfg.Blocks())
+	tree := core.NewTree(prox.M, tcfg)
+	tree.Build()
+	return &Embedder{cfg: cfg, subset: append([]int32(nil), subset...), prox: prox, tree: tree}, nil
+}
+
+// Subset returns the embedded node ids in row order.
+func (e *Embedder) Subset() []int32 { return append([]int32(nil), e.subset...) }
+
+// ApplyEvents advances the graph through a batch of edge events and
+// lazily refreshes the factorization. It returns the number of level-1
+// blocks that were re-factored (0 when every block stayed within the
+// Eqn. 2 tolerance).
+//
+// Following Theorem 3.7's min(τ + 1/r_max, |S|/r_max) accounting, a batch
+// larger than 1/r_max events is handled by recomputing the PPR states
+// from scratch instead of replaying each event — the incremental path
+// would cost more than a fresh push per source.
+func (e *Embedder) ApplyEvents(events []Event) int {
+	if e.prox.Sub.RebuildThreshold(len(events)) {
+		e.prox.Sub.Engine.G.ApplyAll(events)
+		e.prox.Sub.Rebuild()
+		e.prox.RefreshAll()
+	} else {
+		e.prox.ApplyEvents(events)
+	}
+	return e.tree.Update()
+}
+
+// Rebuild recomputes PPR, proximity and the full tree from scratch on the
+// current graph — the Tree-SVD-S path, useful after massive changes
+// (Theorem 3.7's O(|S|/r_max) fallback).
+func (e *Embedder) Rebuild() {
+	e.prox.Sub.Rebuild()
+	e.prox.RefreshAll()
+	e.tree.Build()
+}
+
+// Embedding returns the |S|×d subset embedding X = U√Σ as a row-major
+// matrix: row i embeds Subset()[i]. The rows follow the order of the
+// subset passed to New.
+func (e *Embedder) Embedding() [][]float64 {
+	x := e.tree.Embedding()
+	out := make([][]float64, x.Rows)
+	for i := range out {
+		out[i] = append([]float64(nil), x.Row(i)...)
+	}
+	return out
+}
+
+// RightEmbedding returns the n×d right-factor embedding Y = Ṽ√Σ (row v
+// embeds graph node v); score candidate links from subset node s to any
+// node v as dot(X[s], Y[v]).
+func (e *Embedder) RightEmbedding() [][]float64 {
+	y := e.tree.RightEmbedding()
+	out := make([][]float64, y.Rows)
+	for i := range out {
+		out[i] = append([]float64(nil), y.Row(i)...)
+	}
+	return out
+}
+
+// Stats reports the work done by the last ApplyEvents/Rebuild.
+type Stats struct {
+	// Level1Rebuilt counts re-factored level-1 blocks; Skipped counts
+	// blocks served from cache; UpperRebuilt counts merges above level 1.
+	Level1Rebuilt, Skipped, UpperRebuilt int
+}
+
+// LastStats returns the factorization work counters of the most recent
+// update.
+func (e *Embedder) LastStats() Stats {
+	s := e.tree.Stats()
+	return Stats{Level1Rebuilt: s.Level1Rebuilt, Skipped: s.Skipped, UpperRebuilt: s.UpperRebuilt}
+}
+
+// Graph exposes the embedded graph (owned by the Embedder; mutate only
+// through ApplyEvents).
+func (e *Embedder) Graph() *Graph { return e.prox.Sub.Engine.G }
+
+// Recommendation is one ranked link candidate.
+type Recommendation struct {
+	Node  int32
+	Score float64
+}
+
+// Recommend returns the top-k candidate targets for subset node s, ranked
+// by the factorization score dot(X[s], Y[v]) — the paper's motivating
+// application. Existing out-neighbors of s and s itself are excluded.
+// It returns an error if s is not in the subset.
+func (e *Embedder) Recommend(s int32, k int) ([]Recommendation, error) {
+	row := -1
+	for i, v := range e.subset {
+		if v == s {
+			row = i
+			break
+		}
+	}
+	if row < 0 {
+		return nil, fmt.Errorf("treesvd: node %d is not in the embedded subset", s)
+	}
+	if e.tree.Root().Rank() == 0 {
+		return nil, fmt.Errorf("treesvd: empty factorization")
+	}
+	y := e.tree.RightEmbedding()
+	xs := e.tree.Embedding().Row(row)
+	g := e.Graph()
+	exclude := make(map[int32]bool, g.OutDeg(s)+1)
+	exclude[s] = true
+	for _, v := range g.OutNeighbors(s) {
+		exclude[v] = true
+	}
+	top := make([]Recommendation, 0, k+1)
+	for v := 0; v < y.Rows; v++ {
+		if exclude[int32(v)] {
+			continue
+		}
+		score := dot(xs, y.Row(v))
+		switch {
+		case len(top) < k:
+			top = append(top, Recommendation{Node: int32(v), Score: score})
+			if len(top) == k {
+				sortRecs(top)
+			}
+		case score > top[k-1].Score:
+			top[k-1] = Recommendation{Node: int32(v), Score: score}
+			sortRecs(top)
+		}
+	}
+	sortRecs(top)
+	return top, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sortRecs(r []Recommendation) {
+	sort.SliceStable(r, func(a, b int) bool { return r[a].Score > r[b].Score })
+}
