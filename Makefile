@@ -1,0 +1,27 @@
+# Tree-SVD developer targets. `make ci` is the full gate: vet, build,
+# tests, and the race-detector pass over the concurrency-sensitive
+# packages (the public facade and everything under internal/).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench fmt
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/... .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 50x .
+
+fmt:
+	gofmt -l .

@@ -51,14 +51,14 @@ func benchSetup() (*dataset.Dataset, []int32, *ppr.Proximity) {
 	ds := dataset.Generate(dataset.ScaleProfile(dataset.Patent(), 0.25))
 	s := ds.SampleSubset(1, 100, 1)
 	g := ds.SnapshotGraph(ds.Stream.NumSnapshots() / 2)
-	sub := ppr.NewSubset(g, s, ppr.Params{Alpha: 0.15, RMax: 1e-4})
+	sub := mustTB(ppr.NewSubset(g, s, ppr.Params{Alpha: 0.15, RMax: 1e-4}))
 	return ds, s, ppr.NewProximity(sub, ds.Profile.Nodes, 64)
 }
 
 func BenchmarkForwardPush(b *testing.B) {
 	ds := dataset.Generate(dataset.ScaleProfile(dataset.Patent(), 0.25))
 	g := ds.SnapshotGraph(ds.Stream.NumSnapshots())
-	e := ppr.NewEngine(g, ppr.Params{Alpha: 0.15, RMax: 1e-4})
+	e := mustTB(ppr.NewEngine(g, ppr.Params{Alpha: 0.15, RMax: 1e-4}))
 	s := ds.SampleSubset(1, 64, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -77,7 +77,7 @@ func BenchmarkDynamicPushBatch(b *testing.B) {
 	_ = s
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		prox.ApplyEvents(events)
+		must0tb(prox.ApplyEvents(bgt, events))
 		b.StopTimer()
 		// Re-applying identical inserts is a no-op; flip to keep work real.
 		flipped := make([]graph.Event, len(events))
@@ -98,16 +98,16 @@ func BenchmarkTreeBuild(b *testing.B) {
 	cfg := core.DefaultConfig(32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tree := core.NewTree(prox.M, cfg)
-		tree.Build()
+		tree := mustTB(core.NewTree(prox.M, cfg))
+		must0tb(tree.Build(bgt))
 	}
 }
 
 func BenchmarkTreeLazyUpdateOneBlock(b *testing.B) {
 	_, _, prox := benchSetup()
 	cfg := core.DefaultConfig(32)
-	tree := core.NewTree(prox.M, cfg)
-	tree.Build()
+	tree := mustTB(core.NewTree(prox.M, cfg))
+	must0tb(tree.Build(bgt))
 	rng := rand.New(rand.NewSource(1))
 	lo, hi := prox.M.BlockRange(0)
 	b.ResetTimer()
@@ -117,7 +117,7 @@ func BenchmarkTreeLazyUpdateOneBlock(b *testing.B) {
 			prox.M.Set(rng.Intn(prox.M.Rows()), lo+rng.Intn(hi-lo), rng.Float64()*5)
 		}
 		b.StartTimer()
-		tree.ForceRebuildBlock(0)
+		mustTB(tree.ForceRebuildBlock(bgt, 0))
 	}
 }
 
@@ -157,7 +157,7 @@ func BenchmarkEmbedderApplyEvents(b *testing.B) {
 		if hi > len(rest) {
 			hi = len(rest)
 		}
-		emb.ApplyEvents(rest[lo:hi])
+		mustTB(emb.ApplyEvents(bgt, rest[lo:hi]))
 	}
 }
 

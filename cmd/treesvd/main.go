@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -97,7 +98,10 @@ func main() {
 	for t := 2; t <= stream.NumSnapshots(); t++ {
 		batch := stream.SnapshotEvents(t)
 		t0 := time.Now()
-		rebuilt := emb.ApplyEvents(batch)
+		rebuilt, err := emb.ApplyEvents(context.Background(), batch)
+		if err != nil {
+			fail(err)
+		}
 		st := emb.LastStats()
 		fmt.Printf("snapshot %d: %d events, update in %v (blocks rebuilt %d, cached %d)\n",
 			t, len(batch), time.Since(t0).Round(time.Millisecond), rebuilt, st.Skipped)

@@ -44,7 +44,7 @@ func TestEndToEndDynamicPipeline(t *testing.T) {
 	first := classify(emb.Embedding())
 	totalRebuilt, totalSkipped := 0, 0
 	for snap := 2; snap <= stream.NumSnapshots(); snap++ {
-		rebuilt := emb.ApplyEvents(stream.SnapshotEvents(snap))
+		rebuilt := mustTB(emb.ApplyEvents(bgt, stream.SnapshotEvents(snap)))
 		totalRebuilt += rebuilt
 		totalSkipped += emb.LastStats().Skipped
 	}

@@ -1,6 +1,7 @@
 package treesvd_test
 
 import (
+	"context"
 	"fmt"
 
 	treesvd "github.com/tree-svd/treesvd"
@@ -39,7 +40,7 @@ func ExampleEmbedder_ApplyEvents() {
 	for v := int32(0); v < 32; v++ {
 		events = append(events, treesvd.Event{U: v, V: (v + 7) % 32, Type: treesvd.Insert})
 	}
-	emb.ApplyEvents(events)
+	emb.ApplyEvents(context.Background(), events)
 	st := emb.LastStats()
 	fmt.Printf("cached+rebuilt blocks = %d\n", st.Skipped+st.Level1Rebuilt)
 	// Output: cached+rebuilt blocks = 32

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -38,7 +39,9 @@ func main() {
 	for t := 2; t <= stream.NumSnapshots(); t++ {
 		batch := stream.SnapshotEvents(t)
 		t0 = time.Now()
-		emb.ApplyEvents(batch)
+		if _, err := emb.ApplyEvents(context.Background(), batch); err != nil {
+			panic(err)
+		}
 		elapsed := time.Since(t0)
 		st := emb.LastStats()
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,7 +46,9 @@ func main() {
 	for t := 2; t <= stream.NumSnapshots(); t++ {
 		batch := stream.SnapshotEvents(t)
 		t0 := time.Now()
-		emb.ApplyEvents(batch)
+		if _, err := emb.ApplyEvents(context.Background(), batch); err != nil {
+			panic(err)
+		}
 		upd := time.Since(t0)
 		if t%4 == 0 || t == stream.NumSnapshots() {
 			fmt.Printf("snapshot %2d: micro-F1 %.1f%% (update %v, %d blocks re-factored)\n",

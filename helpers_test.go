@@ -1,0 +1,21 @@
+package treesvd
+
+import "context"
+
+// bgt is the test-wide context; cancellation tests build their own.
+var bgt = context.Background()
+
+// mustTB unwraps (v, err) results in tests and benchmarks.
+func mustTB[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// must0tb fails the calling test/benchmark (via panic) on an error.
+func must0tb(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

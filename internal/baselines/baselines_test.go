@@ -43,7 +43,7 @@ func TestDynPPEHashEmbeddingMatchesScratch(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := randGraph(rng, 40, 150)
 	s := pickSubset(rng, 40, 6)
-	d := NewDynPPE(g, s, testParams, 8, 7)
+	d := mustBL(NewDynPPE(g, s, testParams, 8, 7))
 
 	check := func() {
 		for i := range s {
@@ -72,7 +72,7 @@ func TestDynPPEHashEmbeddingMatchesScratch(t *testing.T) {
 			events = append(events, graph.Event{U: u, V: v, Type: graph.Insert})
 		}
 	}
-	d.ApplyEvents(events)
+	must0t(d.ApplyEvents(bgt, events))
 	check()
 }
 
@@ -80,14 +80,14 @@ func TestDynPPEDeterministicHash(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := randGraph(rng, 20, 60)
 	s := pickSubset(rng, 20, 4)
-	d1 := NewDynPPE(g.Clone(), s, testParams, 8, 5)
-	d2 := NewDynPPE(g.Clone(), s, testParams, 8, 5)
+	d1 := mustBL(NewDynPPE(g.Clone(), s, testParams, 8, 5))
+	d2 := mustBL(NewDynPPE(g.Clone(), s, testParams, 8, 5))
 	// Hash accumulation iterates maps, so float reassociation allows
 	// ~1e-16 jitter; everything beyond that is nondeterminism.
 	if diff := linalg.MaxAbsDiff(d1.Embedding(), d2.Embedding()); diff > 1e-12 {
 		t.Fatalf("same seed, different embeddings: %g", diff)
 	}
-	d3 := NewDynPPE(g.Clone(), s, testParams, 8, 6)
+	d3 := mustBL(NewDynPPE(g.Clone(), s, testParams, 8, 6))
 	if diff := linalg.MaxAbsDiff(d1.Embedding(), d3.Embedding()); diff == 0 {
 		t.Fatal("different seeds produced identical embeddings")
 	}
@@ -97,8 +97,8 @@ func TestSubsetSTRAPShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randGraph(rng, 30, 120)
 	s := pickSubset(rng, 30, 5)
-	st := NewSubsetSTRAP(g, s, testParams, 30, 4, 1)
-	res := st.Factorize()
+	st := mustBL(NewSubsetSTRAP(g, s, testParams, 30, 4, 1))
+	res := mustBL(st.Factorize())
 	if res.Left.Rows != 5 || res.Left.Cols > 4 {
 		t.Fatalf("left shape %d×%d", res.Left.Rows, res.Left.Cols)
 	}
@@ -118,8 +118,8 @@ func TestSubsetSTRAPDynamicUpdates(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := randGraph(rng, 25, 100)
 	s := pickSubset(rng, 25, 4)
-	st := NewSubsetSTRAP(g, s, testParams, 25, 3, 1)
-	before := st.Factorize()
+	st := mustBL(NewSubsetSTRAP(g, s, testParams, 25, 3, 1))
+	before := mustBL(st.Factorize())
 	var events []graph.Event
 	for len(events) < 20 {
 		u, v := int32(rng.Intn(25)), int32(rng.Intn(25))
@@ -127,8 +127,8 @@ func TestSubsetSTRAPDynamicUpdates(t *testing.T) {
 			events = append(events, graph.Event{U: u, V: v, Type: graph.Insert})
 		}
 	}
-	st.ApplyEvents(events)
-	after := st.Factorize()
+	must0t(st.ApplyEvents(bgt, events))
+	after := mustBL(st.Factorize())
 	if linalg.MaxAbsDiff(before.Left, after.Left) == 0 {
 		t.Fatal("embedding unchanged after 20 insertions")
 	}
@@ -138,7 +138,7 @@ func TestGlobalSTRAP(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	g := randGraph(rng, 25, 100)
 	gs := NewGlobalSTRAP(g, ppr.Params{Alpha: 0.15, RMax: 1e-2}, 4, 1)
-	res := gs.Factorize()
+	res := mustBL(gs.Factorize())
 	if res.Left.Rows != 25 {
 		t.Fatalf("global left rows %d, want 25", res.Left.Rows)
 	}

@@ -8,6 +8,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 
 	"github.com/tree-svd/treesvd/internal/graph"
@@ -32,9 +33,13 @@ type DynPPE struct {
 }
 
 // NewDynPPE builds the initial hashed embeddings for subset s on g.
-func NewDynPPE(g *graph.Graph, s []int32, params ppr.Params, dim int, seed int64) *DynPPE {
+func NewDynPPE(g *graph.Graph, s []int32, params ppr.Params, dim int, seed int64) (*DynPPE, error) {
+	sub, err := ppr.NewSubsetDirs(g, s, params, true, false)
+	if err != nil {
+		return nil, err
+	}
 	d := &DynPPE{
-		Sub:    ppr.NewSubsetDirs(g, s, params, true, false),
+		Sub:    sub,
 		Dim:    dim,
 		seed:   uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567,
 		emb:    linalg.NewDense(len(s), dim),
@@ -44,7 +49,7 @@ func NewDynPPE(g *graph.Graph, s []int32, params ppr.Params, dim int, seed int64
 		d.shadow[i] = make(map[int32]float64)
 		d.rehashRow(i)
 	}
-	return d
+	return d, nil
 }
 
 // hash maps a node to (dimension, sign) with a splitmix64 mix.
@@ -88,11 +93,14 @@ func (d *DynPPE) rehashRow(i int) {
 
 // ApplyEvents advances the graph, incrementally repairs every PPR vector,
 // and re-hashes only the affected entries.
-func (d *DynPPE) ApplyEvents(events []graph.Event) {
-	d.Sub.ApplyEvents(events)
+func (d *DynPPE) ApplyEvents(ctx context.Context, events []graph.Event) error {
+	if err := d.Sub.ApplyEvents(ctx, events); err != nil {
+		return err
+	}
 	for i := range d.shadow {
 		d.rehashRow(i)
 	}
+	return nil
 }
 
 // Embedding returns the |S|×d hashed embedding matrix (live storage; do

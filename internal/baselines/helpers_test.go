@@ -1,0 +1,21 @@
+package baselines
+
+import "context"
+
+// bgt is the test-wide context.
+var bgt = context.Background()
+
+// mustBL unwraps constructor/factorization results in tests.
+func mustBL[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// must0t fails the calling test (via panic) on an unexpected error.
+func must0t(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

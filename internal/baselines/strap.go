@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 
 	"github.com/tree-svd/treesvd/internal/graph"
@@ -20,9 +21,12 @@ type STRAPResult struct {
 
 // strapFactor applies the randomized truncated SVD to a proximity CSR and
 // extracts both embedding sides.
-func strapFactor(m *sparse.CSR, dim int, opts rsvd.Options) *STRAPResult {
+func strapFactor(m *sparse.CSR, dim int, opts rsvd.Options) (*STRAPResult, error) {
 	opts.Rank = dim
-	res := rsvd.Sparse(m, opts)
+	res, err := rsvd.Sparse(m, opts)
+	if err != nil {
+		return nil, err
+	}
 	sq := make([]float64, len(res.S))
 	for i, s := range res.S {
 		if s > 0 {
@@ -30,7 +34,7 @@ func strapFactor(m *sparse.CSR, dim int, opts rsvd.Options) *STRAPResult {
 		}
 	}
 	right := res.V.Clone().MulDiag(sq)
-	return &STRAPResult{Left: res.USqrtS(), Right: right, Root: res}
+	return &STRAPResult{Left: res.USqrtS(), Right: right, Root: res}, nil
 }
 
 // SubsetSTRAP extends STRAP to the subset setting (Section 2.2): build the
@@ -44,21 +48,24 @@ type SubsetSTRAP struct {
 }
 
 // NewSubsetSTRAP builds the proximity state for subset s over g.
-func NewSubsetSTRAP(g *graph.Graph, s []int32, params ppr.Params, maxNodes, dim int, seed int64) *SubsetSTRAP {
-	sub := ppr.NewSubset(g, s, params)
+func NewSubsetSTRAP(g *graph.Graph, s []int32, params ppr.Params, maxNodes, dim int, seed int64) (*SubsetSTRAP, error) {
+	sub, err := ppr.NewSubset(g, s, params)
+	if err != nil {
+		return nil, err
+	}
 	// Block count is irrelevant for STRAP itself; reuse a coarse split.
-	return &SubsetSTRAP{Prox: ppr.NewProximity(sub, maxNodes, 16), Dim: dim, Seed: seed}
+	return &SubsetSTRAP{Prox: ppr.NewProximity(sub, maxNodes, 16), Dim: dim, Seed: seed}, nil
 }
 
 // ApplyEvents advances the proximity matrix incrementally (the PPR side is
 // shared with Tree-SVD; only the factorization differs).
-func (s *SubsetSTRAP) ApplyEvents(events []graph.Event) {
-	s.Prox.ApplyEvents(events)
+func (s *SubsetSTRAP) ApplyEvents(ctx context.Context, events []graph.Event) error {
+	return s.Prox.ApplyEvents(ctx, events)
 }
 
 // Factorize runs the from-scratch truncated SVD of the current proximity
 // matrix — the step Subset-STRAP must redo in full at every snapshot.
-func (s *SubsetSTRAP) Factorize() *STRAPResult {
+func (s *SubsetSTRAP) Factorize() (*STRAPResult, error) {
 	return strapFactor(s.Prox.M.ToCSR(), s.Dim, rsvd.Options{Seed: s.Seed, PowerIters: 2})
 }
 
@@ -81,9 +88,12 @@ func NewGlobalSTRAP(g *graph.Graph, params ppr.Params, dim int, seed int64) *Glo
 }
 
 // Factorize builds the full n×n log-PPR proximity matrix and factors it.
-func (g *GlobalSTRAP) Factorize() *STRAPResult {
+func (g *GlobalSTRAP) Factorize() (*STRAPResult, error) {
 	n := g.G.NumNodes()
-	eng := ppr.NewEngine(g.G, g.Params)
+	eng, err := ppr.NewEngine(g.G, g.Params)
+	if err != nil {
+		return nil, err
+	}
 	b := sparse.NewBuilder(n, n)
 	rmax := g.Params.RMax
 	for src := 0; src < n; src++ {

@@ -32,16 +32,16 @@ func RunExp3NC(o Options) []*Table {
 		// MF pipeline graph (mutated by proximity updates) and an
 		// independent graph for the hashing pipeline.
 		gMF := ds.SnapshotGraph(1)
-		sub := ppr.NewSubset(gMF, s, o.params())
+		sub := must(ppr.NewSubset(gMF, s, o.params()))
 		prox := ppr.NewProximity(sub, ds.Profile.Nodes, o.treeConfig().Blocks())
 		gHash := ds.SnapshotGraph(1)
-		dyn := baselines.NewDynPPE(gHash, s, o.params(), o.Dim, o.Seed)
+		dyn := must(baselines.NewDynPPE(gHash, s, o.params(), o.Dim, o.Seed))
 
 		for snap := 1; snap <= tau; snap++ {
 			if snap > 1 {
 				ev := ds.Stream.SnapshotEvents(snap)
-				prox.ApplyEvents(ev)
-				dyn.ApplyEvents(ev)
+				must0(prox.ApplyEvents(bg, ev))
+				must0(dyn.ApplyEvents(bg, ev))
 			}
 			record := func(name string, emb *linalgDense) {
 				t.AddRow(fmt.Sprint(snap), name,
@@ -51,10 +51,10 @@ func RunExp3NC(o Options) []*Table {
 			record("RandNE", baselines.SubsetRows(baselines.RandNE(gMF, baselines.DefaultRandNEConfig(o.Dim, o.Seed)), s))
 			record("DynPPE", dyn.Embedding())
 			csr := prox.M.ToCSR()
-			strap := rsvd.Sparse(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2})
+			strap := must(rsvd.Sparse(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2}))
 			record("Subset-STRAP", strap.USqrtS())
-			tree := core.NewTree(prox.M, o.treeConfig())
-			tree.Build()
+			tree := must(core.NewTree(prox.M, o.treeConfig()))
+			must0(tree.Build(bg))
 			record("Tree-SVD", tree.Embedding())
 		}
 		t.Notes = append(t.Notes, "expected shape: F1 grows along snapshots; Tree-SVD tracks/stays best")
@@ -178,26 +178,26 @@ func RunExp4(o Options) *Table {
 		plan := o.planBatches(ds, exp4NumBatches, exp4Churn, nil)
 
 		// DynPPE (incremental hash).
-		dyn := baselines.NewDynPPE(plan.startGraph.Clone(), s, o.params(), o.Dim, o.Seed)
+		dyn := must(baselines.NewDynPPE(plan.startGraph.Clone(), s, o.params(), o.Dim, o.Seed))
 		var dt time.Duration
 		for _, b := range plan.batches {
 			t0 := time.Now()
-			dyn.ApplyEvents(b)
+			must0(dyn.ApplyEvents(bg, b))
 			dt += time.Since(t0)
 		}
 		t.AddRow(prof.Name, "DynPPE", dur(dt/time.Duration(len(plan.batches))), "-",
 			pct(o.classify(dyn.Embedding(), labels, cls, o.TrainRatio)))
 
 		// Subset-STRAP: incremental proximity, full SVD per batch.
-		subS := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+		subS := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 		proxS := ppr.NewProximity(subS, ds.Profile.Nodes, o.treeConfig().Blocks())
 		var st, stSVD time.Duration
 		var strapEmb *linalgDense
 		for _, b := range plan.batches {
 			t0 := time.Now()
-			proxS.ApplyEvents(b)
+			must0(proxS.ApplyEvents(bg, b))
 			t1 := time.Now()
-			strapEmb = rsvd.Sparse(proxS.M.ToCSR(), rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2}).USqrtS()
+			strapEmb = must(rsvd.Sparse(proxS.M.ToCSR(), rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2})).USqrtS()
 			stSVD += time.Since(t1)
 			st += time.Since(t0)
 		}
@@ -206,15 +206,15 @@ func RunExp4(o Options) *Table {
 			pct(o.classify(strapEmb, labels, cls, o.TrainRatio)))
 
 		// Tree-SVD-S: incremental proximity, full tree rebuild per batch.
-		subT := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+		subT := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 		proxT := ppr.NewProximity(subT, ds.Profile.Nodes, o.treeConfig().Blocks())
-		treeS := core.NewTree(proxT.M, o.treeConfig())
+		treeS := must(core.NewTree(proxT.M, o.treeConfig()))
 		var tt, ttSVD time.Duration
 		for _, b := range plan.batches {
 			t0 := time.Now()
-			proxT.ApplyEvents(b)
+			must0(proxT.ApplyEvents(bg, b))
 			t1 := time.Now()
-			treeS.Build()
+			must0(treeS.Build(bg))
 			ttSVD += time.Since(t1)
 			tt += time.Since(t0)
 		}
@@ -222,16 +222,16 @@ func RunExp4(o Options) *Table {
 			pct(o.classify(treeS.Embedding(), labels, cls, o.TrainRatio)))
 
 		// Dynamic Tree-SVD: incremental proximity + lazy update.
-		subD := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+		subD := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 		proxD := ppr.NewProximity(subD, ds.Profile.Nodes, o.treeConfig().Blocks())
-		treeD := core.NewTree(proxD.M, o.treeConfig())
-		treeD.Build()
+		treeD := must(core.NewTree(proxD.M, o.treeConfig()))
+		must0(treeD.Build(bg))
 		var dtt, dttSVD time.Duration
 		for _, b := range plan.batches {
 			t0 := time.Now()
-			proxD.ApplyEvents(b)
+			must0(proxD.ApplyEvents(bg, b))
 			t1 := time.Now()
-			treeD.Update()
+			must(treeD.Update(bg))
 			dttSVD += time.Since(t1)
 			dtt += time.Since(t0)
 		}
@@ -270,14 +270,14 @@ func (o Options) exp4LPDataset(t *Table, prof dataset.Profile) {
 	plan := o.planBatches(ds, exp4NumBatches, exp4Churn, exclude)
 
 	// Subset-STRAP.
-	subS := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+	subS := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 	proxS := ppr.NewProximity(subS, ds.Profile.Nodes, o.treeConfig().Blocks())
 	var st time.Duration
 	var strapRes *baselines.STRAPResult
 	for _, b := range plan.batches {
 		t0 := time.Now()
-		proxS.ApplyEvents(b)
-		r := rsvd.Sparse(proxS.M.ToCSR(), rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2})
+		must0(proxS.ApplyEvents(bg, b))
+		r := must(rsvd.Sparse(proxS.M.ToCSR(), rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2}))
 		strapRes = &baselines.STRAPResult{Left: r.USqrtS(), Right: core.RightEmbeddingOf(r, proxS.M.ToCSR())}
 		st += time.Since(t0)
 	}
@@ -285,29 +285,29 @@ func (o Options) exp4LPDataset(t *Table, prof dataset.Profile) {
 		pct(sp.Precision(strapRes.Left, s, strapRes.Right)))
 
 	// Dynamic Tree-SVD.
-	subD := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+	subD := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 	proxD := ppr.NewProximity(subD, ds.Profile.Nodes, o.treeConfig().Blocks())
-	treeD := core.NewTree(proxD.M, o.treeConfig())
-	treeD.Build()
+	treeD := must(core.NewTree(proxD.M, o.treeConfig()))
+	must0(treeD.Build(bg))
 	var dt time.Duration
 	for _, b := range plan.batches {
 		t0 := time.Now()
-		proxD.ApplyEvents(b)
-		treeD.Update()
+		must0(proxD.ApplyEvents(bg, b))
+		must(treeD.Update(bg))
 		dt += time.Since(t0)
 	}
 	t.AddRow(prof.Name, "Tree-SVD", dur(dt/time.Duration(len(plan.batches))),
 		pct(sp.Precision(treeD.Embedding(), s, treeD.RightEmbedding())))
 
 	// Tree-SVD-S (rebuild per batch).
-	subT := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+	subT := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 	proxT := ppr.NewProximity(subT, ds.Profile.Nodes, o.treeConfig().Blocks())
-	treeS := core.NewTree(proxT.M, o.treeConfig())
+	treeS := must(core.NewTree(proxT.M, o.treeConfig()))
 	var tt time.Duration
 	for _, b := range plan.batches {
 		t0 := time.Now()
-		proxT.ApplyEvents(b)
-		treeS.Build()
+		must0(proxT.ApplyEvents(bg, b))
+		must0(treeS.Build(bg))
 		tt += time.Since(t0)
 	}
 	t.AddRow(prof.Name, "Tree-SVD-S", dur(tt/time.Duration(len(plan.batches))),

@@ -167,7 +167,7 @@ func RunExp2(o Options) *Table {
 		}
 
 		t0 := time.Now()
-		fr := rsvd.FRPCA(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed})
+		fr := must(rsvd.FRPCA(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed}))
 		report("FRPCA", fr, time.Since(t0))
 
 		t0 = time.Now()
@@ -175,8 +175,8 @@ func RunExp2(o Options) *Table {
 		report("HSVD", hr, time.Since(t0))
 
 		t0 = time.Now()
-		tree := core.NewTree(prox.M, treeCfg)
-		tree.Build()
+		tree := must(core.NewTree(prox.M, treeCfg))
+		must0(tree.Build(bg))
 		report("Tree-SVD-S", tree.Root(), time.Since(t0))
 	}
 	t.Notes = append(t.Notes,
@@ -204,12 +204,12 @@ func RunFig5Scale(o Options) *Table {
 		csr := prox.M.ToCSR()
 
 		t0 := time.Now()
-		tree := core.NewTree(prox.M, o.treeConfig())
-		tree.Build()
+		tree := must(core.NewTree(prox.M, o.treeConfig()))
+		must0(tree.Build(bg))
 		tTree := time.Since(t0)
 
 		t0 = time.Now()
-		rsvd.FRPCA(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed})
+		must(rsvd.FRPCA(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed}))
 		tF := time.Since(t0)
 		t.AddRow(fmt.Sprint(prof.Nodes), fmt.Sprint(csr.NNZ()), dur(tTree), dur(tF),
 			fmt.Sprintf("%.1fx", tF.Seconds()/tTree.Seconds()))

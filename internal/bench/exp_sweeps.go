@@ -40,8 +40,8 @@ func RunFig11(o Options) *Table {
 			}
 			m := rebucket(prox, b)
 			t0 = time.Now()
-			tree := core.NewTree(m, cfg)
-			tree.Build()
+			tree := must(core.NewTree(m, cfg))
+			must0(tree.Build(bg))
 			tTime := time.Since(t0)
 			tF1 := o.classify(tree.Embedding(), labels, cls, o.TrainRatio)
 			t.AddRow(prof.Name, fmt.Sprint(b), dur(hTime), pct(hF1), dur(tTime), pct(tF1))
@@ -107,16 +107,16 @@ func RunFig13(o Options) *Table {
 		for _, delta := range []float64{0.05, 0.2, 0.45, 0.65, 0.9} {
 			cfg := o.treeConfig()
 			cfg.Delta = delta
-			sub := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+			sub := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 			prox := ppr.NewProximity(sub, ds.Profile.Nodes, cfg.Blocks())
-			tree := core.NewTree(prox.M, cfg)
-			tree.Build()
+			tree := must(core.NewTree(prox.M, cfg))
+			must0(tree.Build(bg))
 			var elapsed time.Duration
 			rebuilt := 0
 			for _, b := range plan.batches {
 				t0 := time.Now()
-				prox.ApplyEvents(b)
-				rebuilt += tree.Update()
+				must0(prox.ApplyEvents(bg, b))
+				rebuilt += must(tree.Update(bg))
 				elapsed += time.Since(t0)
 			}
 			t.AddRow(prof.Name, fmt.Sprintf("%.2f", delta),
@@ -142,27 +142,27 @@ func RunFig14(o Options) *Table {
 		s := ds.SampleSubset(1, o.SubsetSize, o.Seed)
 		plan := o.planBatches(ds, 32, 0.12, nil)
 
-		subD := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+		subD := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 		proxD := ppr.NewProximity(subD, ds.Profile.Nodes, o.treeConfig().Blocks())
-		treeD := core.NewTree(proxD.M, o.treeConfig())
-		treeD.Build()
+		treeD := must(core.NewTree(proxD.M, o.treeConfig()))
+		must0(treeD.Build(bg))
 
-		subS := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+		subS := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 		proxS := ppr.NewProximity(subS, ds.Profile.Nodes, o.treeConfig().Blocks())
-		treeS := core.NewTree(proxS.M, o.treeConfig())
+		treeS := must(core.NewTree(proxS.M, o.treeConfig()))
 
 		var cumD, cumS time.Duration
 		events := 0
 		for bi, b := range plan.batches {
 			events += len(b)
 			t0 := time.Now()
-			proxD.ApplyEvents(b)
-			treeD.Update()
+			must0(proxD.ApplyEvents(bg, b))
+			must(treeD.Update(bg))
 			cumD += time.Since(t0)
 
 			t0 = time.Now()
-			proxS.ApplyEvents(b)
-			treeS.Build()
+			must0(proxS.ApplyEvents(bg, b))
+			must0(treeS.Build(bg))
 			cumS += time.Since(t0)
 
 			if n := bi + 1; n == 1 || n == 2 || n == 4 || n == 8 || n == 16 || n == 32 {
@@ -201,18 +201,18 @@ func RunAblations(o Options) *Table {
 	} {
 		cfg := o.treeConfig()
 		cfg.UseCountSketch = v.sketchy
-		sub := ppr.NewSubset(plan.startGraph.Clone(), s, o.params())
+		sub := must(ppr.NewSubset(plan.startGraph.Clone(), s, o.params()))
 		prox := ppr.NewProximity(sub, ds.Profile.Nodes, cfg.Blocks())
-		tree := core.NewTree(prox.M, cfg)
+		tree := must(core.NewTree(prox.M, cfg))
 		t0 := time.Now()
-		tree.Build()
+		must0(tree.Build(bg))
 		buildTime := time.Since(t0)
 		var upd time.Duration
 		rebuilds := 0
 		baseNNZ := blockNNZs(prox)
 		for _, b := range plan.batches {
 			ts := time.Now()
-			prox.ApplyEvents(b)
+			must0(prox.ApplyEvents(bg, b))
 			if v.nnzTrig {
 				// Naive trigger: rebuild a block when its nnz changed by
 				// >10% since its last rebuild (no error guarantee).
@@ -221,12 +221,12 @@ func RunAblations(o Options) *Table {
 					lo := baseNNZ[j] * 9 / 10
 					hi := baseNNZ[j] * 11 / 10
 					if cur[j] < lo || cur[j] > hi {
-						rebuilds += tree.ForceRebuildBlock(j)
+						rebuilds += must(tree.ForceRebuildBlock(bg, j))
 						baseNNZ[j] = cur[j]
 					}
 				}
 			} else {
-				rebuilds += tree.Update()
+				rebuilds += must(tree.Update(bg))
 			}
 			upd += time.Since(ts)
 		}
@@ -269,7 +269,7 @@ func RunFutureWork(o Options) *Table {
 		}
 		// Global embedding computed once per dataset and reused.
 		gs := baselines.NewGlobalSTRAP(g, ppr.Params{Alpha: o.Alpha, RMax: o.GlobalRMax}, o.Dim, o.Seed)
-		globalEmb := gs.Factorize().Left
+		globalEmb := must(gs.Factorize()).Left
 		for _, k := range kinds {
 			labels := ds.LabelsFor(k.nodes)
 			classes := ds.Profile.Communities

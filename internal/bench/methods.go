@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -15,6 +16,25 @@ import (
 
 // linalgDense shortens signatures inside the harness.
 type linalgDense = linalg.Dense
+
+// bg is the harness-wide context: experiments always run to completion.
+var bg = context.Background()
+
+// must unwraps (v, err) results inside the harness — an experiment cannot
+// proceed past a failed pipeline stage, so errors abort the run.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// must0 is must for error-only results.
+func must0(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
 
 // Options configure a harness run. Zero value is unusable; use
 // DefaultOptions (full experiment sizes) or QuickOptions (smoke sizes for
@@ -89,7 +109,7 @@ type embedResult struct {
 // buildProximity runs the shared PPR pipeline (forward + reverse push,
 // log transform) used by Subset-STRAP and Tree-SVD.
 func (o Options) buildProximity(g *graph.Graph, s []int32, maxNodes int) *ppr.Proximity {
-	sub := ppr.NewSubset(g, s, o.params())
+	sub := must(ppr.NewSubset(g, s, o.params()))
 	return ppr.NewProximity(sub, maxNodes, o.treeConfig().Blocks())
 }
 
@@ -97,8 +117,8 @@ func (o Options) buildProximity(g *graph.Graph, s []int32, maxNodes int) *ppr.Pr
 func (o Options) runTreeSVDS(g *graph.Graph, s []int32, maxNodes int, needRight bool) embedResult {
 	t0 := time.Now()
 	prox := o.buildProximity(g, s, maxNodes)
-	tree := core.NewTree(prox.M, o.treeConfig())
-	tree.Build()
+	tree := must(core.NewTree(prox.M, o.treeConfig()))
+	must0(tree.Build(bg))
 	res := embedResult{Left: tree.Embedding(), Elapsed: time.Since(t0)}
 	if needRight {
 		res.Right = tree.RightEmbedding()
@@ -109,8 +129,8 @@ func (o Options) runTreeSVDS(g *graph.Graph, s []int32, maxNodes int, needRight 
 // runSubsetSTRAP re-factorizes the full proximity matrix from scratch.
 func (o Options) runSubsetSTRAP(g *graph.Graph, s []int32, maxNodes int) embedResult {
 	t0 := time.Now()
-	st := baselines.NewSubsetSTRAP(g, s, o.params(), maxNodes, o.Dim, o.Seed)
-	r := st.Factorize()
+	st := must(baselines.NewSubsetSTRAP(g, s, o.params(), maxNodes, o.Dim, o.Seed))
+	r := must(st.Factorize())
 	return embedResult{Left: r.Left, Right: r.Right, Elapsed: time.Since(t0)}
 }
 
@@ -118,7 +138,7 @@ func (o Options) runSubsetSTRAP(g *graph.Graph, s []int32, maxNodes int) embedRe
 func (o Options) runGlobalSTRAP(g *graph.Graph, s []int32) embedResult {
 	t0 := time.Now()
 	gs := baselines.NewGlobalSTRAP(g, ppr.Params{Alpha: o.Alpha, RMax: o.GlobalRMax}, o.Dim, o.Seed)
-	r := gs.Factorize()
+	r := must(gs.Factorize())
 	return embedResult{
 		Left:    baselines.SubsetRows(r.Left, s),
 		Right:   r.Right,
@@ -131,7 +151,7 @@ func (o Options) runDynPPE(g *graph.Graph, s []int32) (*baselines.DynPPE, embedR
 	t0 := time.Now()
 	// DynPPE tolerates (and the paper gives it) a finer r_max since it
 	// skips the SVD; we keep the shared r_max for apples-to-apples PPR.
-	d := baselines.NewDynPPE(g, s, o.params(), o.Dim, o.Seed)
+	d := must(baselines.NewDynPPE(g, s, o.params(), o.Dim, o.Seed))
 	return d, embedResult{Left: d.Embedding(), Elapsed: time.Since(t0)}
 }
 
@@ -141,7 +161,7 @@ func (o Options) runDynPPE(g *graph.Graph, s []int32) (*baselines.DynPPE, embedR
 // reasons the paper finds it behind the MF methods.
 func (o Options) runFREDE(g *graph.Graph, s []int32, maxNodes int) embedResult {
 	t0 := time.Now()
-	sub := ppr.NewSubsetDirs(g, s, o.params(), true, false)
+	sub := must(ppr.NewSubsetDirs(g, s, o.params(), true, false))
 	b := sparse.NewBuilder(len(s), maxNodes)
 	for i := range s {
 		for v, pv := range sub.Fwd[i].P {

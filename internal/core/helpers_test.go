@@ -1,0 +1,21 @@
+package core
+
+import "context"
+
+// bgt is the test-wide context; cancellation paths build their own.
+var bgt = context.Background()
+
+// mustCore unwraps constructor/factorization results in tests.
+func mustCore[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// must0t fails the calling test (via panic) on an unexpected error.
+func must0t(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -22,12 +22,12 @@ func TestParallelBuildMatchesSequential(t *testing.T) {
 			m2.Set(r, int(c), m1.Get(r, int(c)))
 		}
 	}
-	tSeq := NewTree(m1, cfgSeq)
-	tSeq.Build()
+	tSeq := mustCore(NewTree(m1, cfgSeq))
+	must0t(tSeq.Build(bgt))
 	cfgPar := cfgSeq
 	cfgPar.Workers = 4
-	tPar := NewTree(m2, cfgPar)
-	tPar.Build()
+	tPar := mustCore(NewTree(m2, cfgPar))
+	must0t(tPar.Build(bgt))
 	if d := linalg.MaxAbsDiff(tSeq.Embedding(), tPar.Embedding()); d > 1e-9 {
 		t.Fatalf("parallel build diverges from sequential: %g", d)
 	}
@@ -42,13 +42,13 @@ func TestParallelUpdateRace(t *testing.T) {
 	cfg.Delta = 0.1
 	m := sparse.NewDynRow(12, 128, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.5)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	for round := 0; round < 5; round++ {
 		for i := 0; i < 80; i++ {
 			m.Set(rng.Intn(12), rng.Intn(128), rng.NormFloat64())
 		}
-		tr.Update()
+		mustCore(tr.Update(bgt))
 	}
 	if tr.Root().Rank() == 0 {
 		t.Fatal("parallel updates lost the factorization")

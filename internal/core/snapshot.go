@@ -52,7 +52,10 @@ func RestoreTree(m *sparse.DynRow, cfg Config, snap *TreeSnapshot) (*Tree, error
 		return nil, fmt.Errorf("core: snapshot has %d level-1 blocks, matrix has %d",
 			len(snap.Level1US), m.NumBlocks())
 	}
-	t := NewTree(m, cfg)
+	t, err := NewTree(m, cfg)
+	if err != nil {
+		return nil, err
+	}
 	for j, us := range snap.Level1US {
 		if us != nil {
 			t.level1[j] = &blockCache{us: us, tail: snap.Level1Tail[j]}

@@ -12,9 +12,9 @@ import (
 // rectangular sparse matrix — the paper notes the scheme is not limited to
 // subset embedding and speeds up SVD for any c×n matrix with c ≪ n. It
 // returns the root truncated SVD (U_{q,1})_d, (Σ_{q,1})_d.
-func Factorize(m *sparse.CSR, cfg Config) *linalg.SVDResult {
+func Factorize(m *sparse.CSR, cfg Config) (*linalg.SVDResult, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	nb := cfg.Blocks()
 	if nb > m.Cols {
@@ -37,10 +37,14 @@ func Factorize(m *sparse.CSR, cfg Config) *linalg.SVDResult {
 			Seed:       cfg.Seed + int64(j)*1_000_003,
 		}
 		var res *linalg.SVDResult
+		var err error
 		if cfg.UseCountSketch {
-			res = rsvd.SparseCW(blk, opts)
+			res, err = rsvd.SparseCW(blk, opts)
 		} else {
-			res = rsvd.Sparse(blk, opts)
+			res, err = rsvd.Sparse(blk, opts)
+		}
+		if err != nil {
+			return nil, err
 		}
 		level = append(level, res.US())
 	}
@@ -53,18 +57,22 @@ func Factorize(m *sparse.CSR, cfg Config) *linalg.SVDResult {
 			}
 			res := linalg.SVDTrunc(linalg.HCat(level[lo:hi]...), cfg.Rank)
 			if len(level) <= cfg.Branch {
-				return res
+				return res, nil
 			}
 			next = append(next, res.US())
 		}
 		level = next
 	}
-	return linalg.SVDTrunc(level[0], cfg.Rank)
+	return linalg.SVDTrunc(level[0], cfg.Rank), nil
 }
 
 // Embedding runs Factorize and returns X = U√Σ.
-func Embedding(m *sparse.CSR, cfg Config) *linalg.Dense {
-	return Factorize(m, cfg).USqrtS()
+func Embedding(m *sparse.CSR, cfg Config) (*linalg.Dense, error) {
+	root, err := Factorize(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return root.USqrtS(), nil
 }
 
 // RightEmbeddingOf recovers Y = Ṽ√Σ (Ṽ = Σ⁻¹UᵀM, rows indexed by the n

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -34,6 +35,13 @@ type Stats struct {
 // matrix. The DynRow is owned by the caller (typically ppr.Proximity);
 // Tree reads blocks, tracks their rebuild state via MarkRebuilt, and keeps
 // all intermediate SVD results cached between snapshots.
+//
+// Build and Update are transactional: every factorization is produced into
+// fresh structures and committed (together with the DynRow baseline resets)
+// only after the whole pass succeeds. On error or context cancellation the
+// tree's caches, root and the matrix's delta bookkeeping are left exactly
+// as they were, so the previous factorization stays valid and a later
+// Update re-triggers the pending blocks.
 type Tree struct {
 	cfg Config
 	m   *sparse.DynRow
@@ -52,23 +60,28 @@ type Tree struct {
 
 // NewTree wraps a DynRow whose block partition was created with
 // cfg.Blocks() blocks. The realized block count may be smaller when the
-// matrix is narrow; the tree adapts.
-func NewTree(m *sparse.DynRow, cfg Config) *Tree {
+// matrix is narrow; the tree adapts. It returns an error when the
+// configuration is invalid.
+func NewTree(m *sparse.DynRow, cfg Config) (*Tree, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return &Tree{cfg: cfg, m: m, level1: make([]*blockCache, m.NumBlocks())}
+	return &Tree{cfg: cfg, m: m, level1: make([]*blockCache, m.NumBlocks())}, nil
 }
 
 // Config returns the tree's configuration.
 func (t *Tree) Config() Config { return t.cfg }
 
-// Stats returns the work counters of the last Build/Update.
+// Stats returns the work counters of the last successful Build/Update.
 func (t *Tree) Stats() Stats { return t.stats }
 
+// Built reports whether the tree holds a committed factorization.
+func (t *Tree) Built() bool { return t.built }
+
 // factorBlock runs the level-1 sparse randomized SVD on block j and
-// refreshes its cache and the DynRow baseline.
-func (t *Tree) factorBlock(j int) {
+// returns a fresh cache entry. It does not touch the tree or the DynRow
+// baseline — commits happen only after a whole Build/Update succeeds.
+func (t *Tree) factorBlock(j int) (*blockCache, error) {
 	blk := t.m.BlockCSR(j)
 	frob := blk.FrobNorm()
 	opts := rsvd.Options{
@@ -78,13 +91,16 @@ func (t *Tree) factorBlock(j int) {
 		Seed:       t.cfg.Seed + int64(j)*1_000_003 + t.seq*7_777_777,
 	}
 	var res *linalg.SVDResult
+	var err error
 	if t.cfg.UseCountSketch {
-		res = rsvd.SparseCW(blk, opts)
+		res, err = rsvd.SparseCW(blk, opts)
 	} else {
-		res = rsvd.Sparse(blk, opts)
+		res, err = rsvd.Sparse(blk, opts)
 	}
-	t.level1[j] = &blockCache{us: res.US(), tail: res.TailEnergy(frob, t.cfg.Rank)}
-	t.m.MarkRebuilt(j)
+	if err != nil {
+		return nil, fmt.Errorf("core: block %d: %w", j, err)
+	}
+	return &blockCache{us: res.US(), tail: res.TailEnergy(frob, t.cfg.Rank)}, nil
 }
 
 // workers resolves the configured worker count.
@@ -97,13 +113,31 @@ func (t *Tree) workers() int {
 
 // Build runs the full static Tree-SVD (Algorithm 3) over the current
 // matrix: every level-1 block is factored and the whole tree is merged.
-func (t *Tree) Build() {
-	t.stats = Stats{}
+// Cancelling ctx aborts the pass without touching the committed state.
+func (t *Tree) Build(ctx context.Context) error {
 	t.seq++
-	par.For(len(t.level1), t.workers(), t.factorBlock)
-	t.stats.Level1Rebuilt = len(t.level1)
-	t.mergeAll()
-	t.built = true
+	fresh := make([]*blockCache, len(t.level1))
+	if err := par.ForErr(ctx, len(fresh), t.workers(), func(j int) error {
+		c, err := t.factorBlock(j)
+		if err != nil {
+			return err
+		}
+		fresh[j] = c
+		return nil
+	}); err != nil {
+		return err
+	}
+	dirty := make(map[int]bool, len(fresh))
+	for j := range fresh {
+		dirty[j] = true
+	}
+	upper, root, merges, err := t.merge(ctx, fresh, dirty)
+	if err != nil {
+		return err
+	}
+	t.commit(fresh, upper, root, dirty,
+		Stats{Level1Rebuilt: len(fresh), UpperRebuilt: merges})
+	return nil
 }
 
 // violates evaluates the Eqn. 2 trigger for level-1 block j:
@@ -126,42 +160,67 @@ func (t *Tree) violates(j int) bool {
 // Update runs the lazy update (Algorithm 4): re-factor only the level-1
 // blocks violating Eqn. 2, then recompute the affected ancestors. Call it
 // after the proximity matrix absorbed a batch of edge events. It returns
-// the number of level-1 blocks rebuilt.
-func (t *Tree) Update() int {
+// the number of level-1 blocks rebuilt. On error (including context
+// cancellation) the committed factorization and the DynRow baselines are
+// untouched, so the pending blocks still violate and a retry picks them up.
+func (t *Tree) Update(ctx context.Context) (int, error) {
 	if !t.built {
-		t.Build()
-		return t.stats.Level1Rebuilt
+		if err := t.Build(ctx); err != nil {
+			return 0, err
+		}
+		return t.stats.Level1Rebuilt, nil
 	}
-	t.stats = Stats{}
 	t.seq++
 	var z []int
+	skipped := 0
 	for j := range t.level1 {
 		if t.violates(j) {
 			z = append(z, j)
 		} else {
-			t.stats.Skipped++
+			skipped++
 		}
 	}
 	if len(z) == 0 {
-		return 0 // every block within tolerance: cached embedding stands
+		t.stats = Stats{Skipped: skipped}
+		return 0, nil // every block within tolerance: cached embedding stands
+	}
+	fresh := append([]*blockCache(nil), t.level1...)
+	if err := par.ForErr(ctx, len(z), t.workers(), func(i int) error {
+		c, err := t.factorBlock(z[i])
+		if err != nil {
+			return err
+		}
+		fresh[z[i]] = c
+		return nil
+	}); err != nil {
+		return 0, err
 	}
 	dirty := make(map[int]bool, len(z))
-	par.For(len(z), t.workers(), func(i int) { t.factorBlock(z[i]) })
 	for _, j := range z {
 		dirty[j] = true
 	}
-	t.stats.Level1Rebuilt = len(z)
-	t.mergeDirty(dirty)
-	return len(z)
+	upper, root, merges, err := t.merge(ctx, fresh, dirty)
+	if err != nil {
+		return 0, err
+	}
+	t.commit(fresh, upper, root, dirty,
+		Stats{Level1Rebuilt: len(z), Skipped: skipped, UpperRebuilt: merges})
+	return len(z), nil
 }
 
-// mergeAll rebuilds the whole upper tree (Algorithm 3 levels 2..q).
-func (t *Tree) mergeAll() {
-	dirty := make(map[int]bool, len(t.level1))
-	for j := range t.level1 {
-		dirty[j] = true
+// commit atomically installs a finished factorization pass: the fresh
+// caches replace the old ones wholesale and only now are the rebuilt
+// blocks' DynRow baselines reset. Readers holding results obtained before
+// the commit keep valid (old) data — nothing they reference is mutated.
+func (t *Tree) commit(level1 []*blockCache, upper [][]*linalg.Dense, root *linalg.SVDResult, rebuilt map[int]bool, stats Stats) {
+	t.level1 = level1
+	t.upper = upper
+	t.root = root
+	for j := range rebuilt {
+		t.m.MarkRebuilt(j)
 	}
-	t.mergeDirty(dirty)
+	t.stats = stats
+	t.built = true
 }
 
 // levelCounts returns the node counts per tree level, bottom-up, ending
@@ -175,31 +234,34 @@ func (t *Tree) levelCounts() []int {
 	return counts
 }
 
-// childUS returns the cached compressed representation of node j at
-// 0-based level cl (cl 0 is the level-1 blocks).
-func (t *Tree) childUS(cl, j int) *linalg.Dense {
-	if cl == 0 {
-		return t.level1[j].us
-	}
-	return t.upper[cl-1][j]
-}
-
-// mergeDirty propagates rebuilt nodes up the tree (Algorithm 4 lines
-// 6-12): a parent is re-merged exactly when one of its children changed;
-// untouched subtrees are served from cache.
-func (t *Tree) mergeDirty(dirty map[int]bool) {
+// merge propagates rebuilt nodes up the tree (Algorithm 4 lines 6-12) into
+// fresh upper-level caches and a fresh root: a parent is re-merged exactly
+// when one of its children changed; untouched subtrees are copied from the
+// previous caches. The tree itself is not modified — the caller commits
+// the returned structures only when the whole pass succeeded.
+func (t *Tree) merge(ctx context.Context, level1 []*blockCache, dirty map[int]bool) ([][]*linalg.Dense, *linalg.SVDResult, int, error) {
 	counts := t.levelCounts()
 	if len(counts) == 1 {
 		// Single level-1 block: its truncated SVD is the root.
-		t.root = linalg.SVDTrunc(t.level1[0].us, t.cfg.Rank)
-		t.stats.UpperRebuilt++
-		return
+		return nil, linalg.SVDTrunc(level1[0].us, t.cfg.Rank), 1, nil
 	}
-	// Size the upper cache: one slice per intermediate level (2..q-1).
-	for len(t.upper) < len(counts)-2 {
-		li := len(t.upper)
-		t.upper = append(t.upper, make([]*linalg.Dense, counts[li+1]))
+	// Fresh upper cache: one slice per intermediate level (2..q-1), seeded
+	// with the previous pass's results where present.
+	upper := make([][]*linalg.Dense, len(counts)-2)
+	for li := range upper {
+		upper[li] = make([]*linalg.Dense, counts[li+1])
+		if li < len(t.upper) {
+			copy(upper[li], t.upper[li])
+		}
 	}
+	childUS := func(cl, j int) *linalg.Dense {
+		if cl == 0 {
+			return level1[j].us
+		}
+		return upper[cl-1][j]
+	}
+	var root *linalg.SVDResult
+	merges := 0
 	k := t.cfg.Branch
 	for cl := 0; cl+1 < len(counts); cl++ {
 		parentDirty := make(map[int]bool)
@@ -212,7 +274,7 @@ func (t *Tree) mergeDirty(dirty map[int]bool) {
 		}
 		sort.Ints(parents)
 		isRootLevel := counts[cl+1] == 1
-		par.For(len(parents), t.workers(), func(pi int) {
+		if err := par.ForErr(ctx, len(parents), t.workers(), func(pi int) error {
 			pj := parents[pi]
 			lo := pj * k
 			hi := lo + k
@@ -221,39 +283,56 @@ func (t *Tree) mergeDirty(dirty map[int]bool) {
 			}
 			children := make([]*linalg.Dense, 0, hi-lo)
 			for j := lo; j < hi; j++ {
-				children = append(children, t.childUS(cl, j))
+				children = append(children, childUS(cl, j))
 			}
 			res := linalg.SVDTrunc(linalg.HCat(children...), t.cfg.Rank)
 			if isRootLevel {
-				t.root = res
+				root = res // exactly one root-level parent: no write race
 			} else {
-				t.upper[cl][pj] = res.US()
+				upper[cl][pj] = res.US()
 			}
-		})
-		t.stats.UpperRebuilt += len(parents)
+			return nil
+		}); err != nil {
+			return nil, nil, 0, err
+		}
+		merges += len(parents)
 		dirty = parentDirty
 	}
+	return upper, root, merges, nil
 }
 
 // ForceRebuildBlock re-factors level-1 block j unconditionally and
 // propagates along its ancestor path, bypassing the Eqn. 2 trigger (used
 // by trigger ablations). It returns 1 (blocks rebuilt), or falls back to a
 // full Build when the tree has never been built.
-func (t *Tree) ForceRebuildBlock(j int) int {
+func (t *Tree) ForceRebuildBlock(ctx context.Context, j int) (int, error) {
 	if !t.built {
-		t.Build()
-		return t.stats.Level1Rebuilt
+		if err := t.Build(ctx); err != nil {
+			return 0, err
+		}
+		return t.stats.Level1Rebuilt, nil
 	}
-	t.stats = Stats{}
 	t.seq++
-	t.factorBlock(j)
-	t.stats.Level1Rebuilt = 1
-	t.mergeDirty(map[int]bool{j: true})
-	return 1
+	c, err := t.factorBlock(j)
+	if err != nil {
+		return 0, err
+	}
+	fresh := append([]*blockCache(nil), t.level1...)
+	fresh[j] = c
+	dirty := map[int]bool{j: true}
+	upper, root, merges, err := t.merge(ctx, fresh, dirty)
+	if err != nil {
+		return 0, err
+	}
+	t.commit(fresh, upper, root, dirty,
+		Stats{Level1Rebuilt: 1, UpperRebuilt: merges})
+	return 1, nil
 }
 
 // Root returns the root truncated SVD (U_{q,1})_d, (Σ_{q,1})_d. Build or
-// Update must have run.
+// Update must have succeeded first. The returned result (and its U/S/V)
+// is immutable: later Build/Update calls install fresh objects instead of
+// mutating it, so callers may hold it across updates.
 func (t *Tree) Root() *linalg.SVDResult {
 	if t.root == nil {
 		panic("core: Root before Build")
@@ -270,15 +349,7 @@ func (t *Tree) Embedding() *linalg.Dense {
 // Ṽ_d = Σ⁻¹·Uᵀ·M_S (Theorem 3.2), i.e. Yᵀ rows are indexed by graph
 // nodes. Net per-column scaling is 1/√σ, computed in one sparse pass.
 func (t *Tree) RightEmbedding() *linalg.Dense {
-	root := t.Root()
-	y := t.m.ToCSR().TMulDense(root.U) // n×d = Mᵀ·U
-	scale := make([]float64, len(root.S))
-	for i, s := range root.S {
-		if s > 0 {
-			scale[i] = 1 / math.Sqrt(s)
-		}
-	}
-	return y.MulDiag(scale)
+	return RightEmbeddingOf(t.Root(), t.m.ToCSR())
 }
 
 // Matrix exposes the underlying proximity DynRow.

@@ -64,8 +64,8 @@ func TestBuildEmbeddingShape(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(10, 40, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.6)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	x := tr.Embedding()
 	if x.Rows != 10 || x.Cols != 4 {
 		t.Fatalf("embedding shape %d×%d, want 10×4", x.Rows, x.Cols)
@@ -83,8 +83,8 @@ func TestStaticTheorem32Bound(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(12, 48, cfg.Blocks())
 	fillLowRank(rng, m, 8, 0.3, 1.0)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	got := tr.ReconstructionError()
 	dense := m.ToDense()
 	best := linalg.SVD(dense).TailEnergy(dense.FrobNorm(), cfg.Rank)
@@ -104,8 +104,8 @@ func TestExactLowRankRecovery(t *testing.T) {
 	cfg := testConfig(3)
 	m := sparse.NewDynRow(9, 36, cfg.Blocks())
 	fillLowRank(rng, m, 3, 0, 1.0)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	if err := tr.ReconstructionError(); err > 1e-6*m.FrobNorm() {
 		t.Fatalf("exact rank-3 input: reconstruction error %g", err)
 	}
@@ -124,11 +124,11 @@ func TestStaticFactorizeMatchesTreeBuild(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(11, 44, cfg.Blocks())
 	fillLowRank(rng, m, 5, 0.1, 0.7)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	// The standalone Factorize splits columns the same way (same widths)
 	// and uses the same per-block seeds on the first pass.
-	res := Factorize(m.ToCSR(), cfg)
+	res := mustCore(Factorize(m.ToCSR(), cfg))
 	rootSeq := tr.Root()
 	for i := range res.S {
 		// Level-1 seeds differ by the tree's seq counter, so compare only
@@ -144,10 +144,10 @@ func TestUpdateNoChangeIsFree(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(8, 32, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.6)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	before := tr.Embedding()
-	if n := tr.Update(); n != 0 {
+	if n := mustCore(tr.Update(bgt)); n != 0 {
 		t.Fatalf("update with no changes rebuilt %d blocks", n)
 	}
 	if tr.Stats().UpperRebuilt != 0 {
@@ -163,12 +163,12 @@ func TestUpdateSmallChangeLazySkips(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(8, 64, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.02, 0.8)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	// Tiny perturbation of one entry in block 0: must stay under the
 	// Eqn. 2 threshold and be skipped.
 	m.Set(0, 0, m.Get(0, 0)+1e-6)
-	if n := tr.Update(); n != 0 {
+	if n := mustCore(tr.Update(bgt)); n != 0 {
 		t.Fatalf("negligible change rebuilt %d blocks", n)
 	}
 }
@@ -178,8 +178,8 @@ func TestUpdateLargeChangeRebuildsOnlyAffected(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(8, 64, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.02, 0.8)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	// Overwrite block 0 entirely: a massive change confined to one block.
 	lo, hi := m.BlockRange(0)
 	for i := 0; i < 8; i++ {
@@ -187,7 +187,7 @@ func TestUpdateLargeChangeRebuildsOnlyAffected(t *testing.T) {
 			m.Set(i, c, rng.NormFloat64()*3)
 		}
 	}
-	n := tr.Update()
+	n := mustCore(tr.Update(bgt))
 	if n != 1 {
 		t.Fatalf("rebuilt %d blocks, want exactly 1", n)
 	}
@@ -209,13 +209,13 @@ func TestUpdateEmbeddingTracksData(t *testing.T) {
 	cfg.Delta = 0.3 // eager-ish updates for a tight comparison
 	m := sparse.NewDynRow(10, 80, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.7)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	// Substantial churn across all blocks.
 	for step := 0; step < 400; step++ {
 		m.Set(rng.Intn(10), rng.Intn(80), rng.NormFloat64())
 	}
-	tr.Update()
+	mustCore(tr.Update(bgt))
 	got := tr.ReconstructionError()
 	dense := m.ToDense()
 	best := linalg.SVD(dense).TailEnergy(dense.FrobNorm(), cfg.Rank)
@@ -233,12 +233,12 @@ func TestLazyBoundTheorem36(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(10, 80, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.7)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	for step := 0; step < 150; step++ {
 		m.Set(rng.Intn(10), rng.Intn(80), rng.NormFloat64())
 	}
-	tr.Update()
+	mustCore(tr.Update(bgt))
 	got := tr.ReconstructionError()
 	bound := ((1 + cfg.Delta*math.Sqrt2) * math.Pow(1+math.Sqrt2, float64(cfg.Levels-1))) * m.FrobNorm()
 	if got > bound {
@@ -252,14 +252,14 @@ func TestDeltaZeroForcesEagerUpdates(t *testing.T) {
 	cfg.Delta = 0
 	m := sparse.NewDynRow(8, 64, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.7)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	// Touch one entry per block: δ=0 must rebuild every touched block.
 	for j := 0; j < m.NumBlocks(); j++ {
 		lo, _ := m.BlockRange(j)
 		m.Set(0, lo, m.Get(0, lo)+0.5)
 	}
-	if n := tr.Update(); n != m.NumBlocks() {
+	if n := mustCore(tr.Update(bgt)); n != m.NumBlocks() {
 		t.Fatalf("δ=0 rebuilt %d blocks, want all %d", n, m.NumBlocks())
 	}
 }
@@ -269,8 +269,8 @@ func TestRightEmbeddingShapeAndScale(t *testing.T) {
 	cfg := testConfig(3)
 	m := sparse.NewDynRow(8, 40, cfg.Blocks())
 	fillLowRank(rng, m, 3, 0, 1.0)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	y := tr.RightEmbedding()
 	if y.Rows != 40 || y.Cols != 3 {
 		t.Fatalf("right embedding shape %d×%d, want 40×3", y.Rows, y.Cols)
@@ -289,15 +289,15 @@ func TestUpdateBeforeBuildFallsBack(t *testing.T) {
 	cfg := testConfig(3)
 	m := sparse.NewDynRow(6, 24, cfg.Blocks())
 	fillLowRank(rng, m, 3, 0.05, 0.7)
-	tr := NewTree(m, cfg)
-	if n := tr.Update(); n != m.NumBlocks() {
+	tr := mustCore(NewTree(m, cfg))
+	if n := mustCore(tr.Update(bgt)); n != m.NumBlocks() {
 		t.Fatalf("first Update rebuilt %d, want full build %d", n, m.NumBlocks())
 	}
 }
 
 func TestRootBeforeBuildPanics(t *testing.T) {
 	m := sparse.NewDynRow(3, 12, 4)
-	tr := NewTree(m, testConfig(2))
+	tr := mustCore(NewTree(m, testConfig(2)))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -309,8 +309,8 @@ func TestRootBeforeBuildPanics(t *testing.T) {
 func TestEmptyMatrixBuild(t *testing.T) {
 	cfg := testConfig(3)
 	m := sparse.NewDynRow(5, 20, cfg.Blocks())
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	if tr.Root().Rank() != 0 {
 		t.Fatalf("empty matrix produced rank %d", tr.Root().Rank())
 	}
@@ -325,8 +325,8 @@ func TestCountSketchVariantWorks(t *testing.T) {
 	cfg.UseCountSketch = true
 	m := sparse.NewDynRow(10, 80, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.6)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	got := tr.ReconstructionError()
 	dense := m.ToDense()
 	best := linalg.SVD(dense).TailEnergy(dense.FrobNorm(), cfg.Rank)
@@ -341,8 +341,8 @@ func TestDeepTree(t *testing.T) {
 	cfg := Config{Rank: 3, Branch: 2, Levels: 4, Delta: 0.65, Oversample: 6, PowerIters: 2, Seed: 2}
 	m := sparse.NewDynRow(9, 64, cfg.Blocks())
 	fillLowRank(rng, m, 3, 0.02, 0.8)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	if err := tr.ReconstructionError(); err > 0.35*m.FrobNorm() {
 		t.Fatalf("deep tree reconstruction error %g vs ‖M‖=%g", err, m.FrobNorm())
 	}
@@ -353,7 +353,7 @@ func TestDeepTree(t *testing.T) {
 			m.Set(i, c, rng.NormFloat64()*2)
 		}
 	}
-	tr.Update()
+	mustCore(tr.Update(bgt))
 	if tr.Stats().UpperRebuilt != 3 {
 		t.Fatalf("deep tree upper rebuilds = %d, want 3", tr.Stats().UpperRebuilt)
 	}
@@ -364,14 +364,14 @@ func TestUpdateIdempotent(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(8, 64, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.7)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	for i := 0; i < 120; i++ {
 		m.Set(rng.Intn(8), rng.Intn(64), rng.NormFloat64())
 	}
-	tr.Update()
+	mustCore(tr.Update(bgt))
 	before := tr.Embedding()
-	if n := tr.Update(); n != 0 {
+	if n := mustCore(tr.Update(bgt)); n != 0 {
 		t.Fatalf("second Update rebuilt %d blocks without data changes", n)
 	}
 	if d := linalg.MaxAbsDiff(before, tr.Embedding()); d != 0 {
@@ -391,12 +391,12 @@ func TestDeltaMonotonicity(t *testing.T) {
 		cfg.Delta = delta
 		m := sparse.NewDynRow(8, 64, cfg.Blocks())
 		fillLowRank(rng2, m, 4, 0.05, 0.7)
-		tr := NewTree(m, cfg)
-		tr.Build()
+		tr := mustCore(NewTree(m, cfg))
+		must0t(tr.Build(bgt))
 		for i := 0; i < 100; i++ {
 			m.Set(rng2.Intn(8), rng2.Intn(64), rng2.NormFloat64())
 		}
-		n := tr.Update()
+		n := mustCore(tr.Update(bgt))
 		if n > prev {
 			t.Fatalf("δ=%g rebuilt %d blocks > %d at smaller δ", delta, n, prev)
 		}
@@ -410,8 +410,8 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(8, 64, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.7)
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	snap := tr.Snapshot()
 	tr2, err := RestoreTree(m, cfg, snap)
 	if err != nil {
@@ -424,7 +424,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	for i := 0; i < 150; i++ {
 		m.Set(rng.Intn(8), rng.Intn(64), rng.NormFloat64())
 	}
-	n1 := tr.Update()
+	n1 := mustCore(tr.Update(bgt))
 	// tr already consumed the dirty state (MarkRebuilt); only check the
 	// update preserved a valid factorization.
 	if n1 > 0 && tr.Root().Rank() == 0 {
@@ -435,8 +435,8 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 func TestRestoreTreeRejectsMismatchedBlocks(t *testing.T) {
 	cfg := testConfig(3)
 	m := sparse.NewDynRow(4, 32, cfg.Blocks())
-	tr := NewTree(m, cfg)
-	tr.Build()
+	tr := mustCore(NewTree(m, cfg))
+	must0t(tr.Build(bgt))
 	snap := tr.Snapshot()
 	other := sparse.NewDynRow(4, 32, cfg.Blocks()*2)
 	if _, err := RestoreTree(other, cfg, snap); err == nil {
@@ -450,11 +450,11 @@ func TestStaticEmbeddingHelpers(t *testing.T) {
 	m := sparse.NewDynRow(8, 48, cfg.Blocks())
 	fillLowRank(rng, m, 3, 0, 1.0)
 	csr := m.ToCSR()
-	x := Embedding(csr, cfg)
+	x := mustCore(Embedding(csr, cfg))
 	if x.Rows != 8 || x.Cols != 3 {
 		t.Fatalf("static embedding shape %d×%d", x.Rows, x.Cols)
 	}
-	root := Factorize(csr, cfg)
+	root := mustCore(Factorize(csr, cfg))
 	y := RightEmbeddingOf(root, csr)
 	if y.Rows != 48 || y.Cols != root.Rank() {
 		t.Fatalf("right embedding shape %d×%d", y.Rows, y.Cols)
@@ -471,13 +471,13 @@ func TestForceRebuildBlock(t *testing.T) {
 	cfg := testConfig(4)
 	m := sparse.NewDynRow(8, 64, cfg.Blocks())
 	fillLowRank(rng, m, 4, 0.05, 0.7)
-	tr := NewTree(m, cfg)
+	tr := mustCore(NewTree(m, cfg))
 	// Before Build: falls back to a full build.
-	if n := tr.ForceRebuildBlock(2); n != m.NumBlocks() {
+	if n := mustCore(tr.ForceRebuildBlock(bgt, 2)); n != m.NumBlocks() {
 		t.Fatalf("pre-build ForceRebuildBlock rebuilt %d, want %d", n, m.NumBlocks())
 	}
 	// After Build: rebuilds exactly the one block and its ancestor path.
-	if n := tr.ForceRebuildBlock(2); n != 1 {
+	if n := mustCore(tr.ForceRebuildBlock(bgt, 2)); n != 1 {
 		t.Fatalf("ForceRebuildBlock rebuilt %d, want 1", n)
 	}
 	if tr.Stats().UpperRebuilt != cfg.Levels-1 {
@@ -489,7 +489,7 @@ func TestAccessors(t *testing.T) {
 	cfg := testConfig(2)
 	m := sparse.NewDynRow(3, 16, cfg.Blocks())
 	m.Set(0, 0, 1)
-	tr := NewTree(m, cfg)
+	tr := mustCore(NewTree(m, cfg))
 	if tr.Config().Rank != 2 {
 		t.Fatal("Config accessor wrong")
 	}
@@ -503,10 +503,7 @@ func TestAccessors(t *testing.T) {
 
 func TestNewTreeRejectsBadConfig(t *testing.T) {
 	m := sparse.NewDynRow(2, 8, 4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewTree(m, Config{Rank: 0, Branch: 2, Levels: 2})
+	if _, err := NewTree(m, Config{Rank: 0, Branch: 2, Levels: 2}); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
 }

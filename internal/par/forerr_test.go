@@ -1,0 +1,155 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForErrCoversAllIndices(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		n := int(seed%50) + 1
+		w := int(seed%7) + 1
+		seen := make([]int32, n)
+		err := ForErr(context.Background(), n, w, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForErrNilContext(t *testing.T) {
+	var count int32
+	if err := ForErr(nil, 8, 4, func(int) error {
+		atomic.AddInt32(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("nil-ctx ForErr ran %d tasks, want 8", count)
+	}
+}
+
+func TestForErrPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		err := ForErr(context.Background(), 100, w, func(i int) error {
+			if i == 17 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("w=%d: got %v, want boom", w, err)
+		}
+	}
+}
+
+func TestForErrStopsSchedulingAfterError(t *testing.T) {
+	// After the first error no *new* indices should start (in-flight tasks
+	// may finish). With a sequential loop this is exact.
+	var ran int32
+	err := ForErr(context.Background(), 1000, 1, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return fmt.Errorf("stop at %d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran != 4 {
+		t.Fatalf("sequential ForErr ran %d tasks after early error, want 4", ran)
+	}
+	// Parallel: bounded well below n (each of the w workers can have at
+	// most a handful in flight when the stop flag flips).
+	ran = 0
+	_ = ForErr(context.Background(), 100000, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return errors.New("immediate")
+	})
+	if ran > 1000 {
+		t.Fatalf("parallel ForErr kept scheduling after error: %d tasks ran", ran)
+	}
+}
+
+func TestForErrCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForErr(ctx, 100000, 4, func(i int) error {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran == 100000 {
+		t.Fatal("cancellation did not stop scheduling")
+	}
+}
+
+func TestForErrPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		var ran int32
+		err := ForErr(ctx, 50, w, func(int) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("w=%d: got %v, want context.Canceled", w, err)
+		}
+		if w == 1 && ran != 0 {
+			t.Fatalf("pre-cancelled sequential loop ran %d tasks", ran)
+		}
+	}
+}
+
+func TestForErrRecoversPanics(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		err := ForErr(context.Background(), 20, w, func(i int) error {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("w=%d: panic not converted to error: %v", w, err)
+		}
+	}
+}
+
+func TestForWorkerErrWorkerIDsInRange(t *testing.T) {
+	if err := ForWorkerErr(context.Background(), 40, 4, func(worker, i int) error {
+		if worker < 0 || worker >= 4 {
+			return fmt.Errorf("worker id %d out of range", worker)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,8 @@
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -50,6 +52,92 @@ func For(n, w int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForErr runs fn(i) for every i in [0,n) across at most w workers, with
+// cancellation and first-error propagation: once ctx is done or any call
+// returns an error, no further indices are scheduled and the first error
+// observed is returned (in-flight calls run to completion first). A panic
+// inside fn is recovered and converted into an error, so a failing task
+// degrades into an error return instead of killing the process — the
+// property that lets the update pipeline promise "no reachable panics".
+// A nil ctx disables cancellation. With one worker (or n ≤ 1) it
+// degenerates to a plain sequential loop.
+func ForErr(ctx context.Context, n, w int, fn func(i int) error) error {
+	return ForWorkerErr(ctx, n, w, func(_, i int) error { return fn(i) })
+}
+
+// ForWorkerErr is ForErr with the worker index passed to fn (see ForWorker).
+func ForWorkerErr(ctx context.Context, n, w int, fn func(worker, i int) error) error {
+	w = Workers(w)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := protect(fn, 0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next  int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		stop  atomic.Bool
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+				}
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if err := protect(fn, worker, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return first
+}
+
+// protect invokes fn(worker, i), converting a panic into an error.
+func protect(fn func(worker, i int) error, worker, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(worker, i)
 }
 
 // ForWorker is For with the worker index passed to fn, so callers can use

@@ -1,0 +1,21 @@
+package ppr
+
+import "context"
+
+// bgt is the test-wide context; cancellation paths build their own.
+var bgt = context.Background()
+
+// mustPPR unwraps constructor results in tests.
+func mustPPR[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// must0t fails the calling test (via panic) on an unexpected error.
+func must0t(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -15,8 +15,8 @@ func TestParallelSubsetMatchesSequential(t *testing.T) {
 	g1 := randGraph(rng, 60, 240)
 	g2 := g1.Clone()
 	s := []int32{1, 5, 9, 13, 17, 21}
-	seq := NewSubset(g1, s, Params{Alpha: 0.15, RMax: 1e-3})
-	parl := NewSubset(g2, s, Params{Alpha: 0.15, RMax: 1e-3, Workers: 4})
+	seq := mustPPR(NewSubset(g1, s, Params{Alpha: 0.15, RMax: 1e-3}))
+	parl := mustPPR(NewSubset(g2, s, Params{Alpha: 0.15, RMax: 1e-3, Workers: 4}))
 
 	compare := func(label string) {
 		t.Helper()
@@ -48,15 +48,15 @@ func TestParallelSubsetMatchesSequential(t *testing.T) {
 			events = append(events, graph.Event{U: u, V: v, Type: graph.Insert})
 		}
 	}
-	seq.ApplyEvents(events)
-	parl.ApplyEvents(events)
+	must0t(seq.ApplyEvents(bgt, events))
+	must0t(parl.ApplyEvents(bgt, events))
 	compare("after events")
 }
 
 func TestRebuildThreshold(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	g := randGraph(rng, 20, 60)
-	sp := NewSubset(g, []int32{0}, Params{Alpha: 0.2, RMax: 1e-2})
+	sp := mustPPR(NewSubset(g, []int32{0}, Params{Alpha: 0.2, RMax: 1e-2}))
 	if sp.RebuildThreshold(50) {
 		t.Fatal("small batch should not trigger rebuild")
 	}

@@ -16,7 +16,7 @@ func TestStateGobRoundTripBehaviour(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randGraph(rng, 50, 200)
 	params := Params{Alpha: 0.15, RMax: 1e-3}
-	e := NewEngine(g, params)
+	e := mustPPR(NewEngine(g, params))
 	st := NewState(4, graph.Forward)
 	e.Push(st)
 	// Some churn so the state is mid-life.

@@ -1,6 +1,7 @@
 package ppr
 
 import (
+	"context"
 	"math"
 
 	"github.com/tree-svd/treesvd/internal/graph"
@@ -125,7 +126,13 @@ func (pr *Proximity) drainTouched(i int) {
 
 // ApplyEvents advances the graph and the proximity matrix through a batch
 // of edge events: Algorithm 2 on every state, then incremental M refresh.
-func (pr *Proximity) ApplyEvents(events []graph.Event) {
-	pr.Sub.ApplyEvents(events)
+// On error (context cancellation mid-repair) M has not absorbed the
+// changes; callers must recover with Sub.Rebuild + RefreshAll before
+// trusting the matrix again.
+func (pr *Proximity) ApplyEvents(ctx context.Context, events []graph.Event) error {
+	if err := pr.Sub.ApplyEvents(ctx, events); err != nil {
+		return err
+	}
 	pr.Refresh()
+	return nil
 }

@@ -16,7 +16,7 @@ func buildSubset(rng *rand.Rand, n, m, subsetSize int, params Params) (*graph.Gr
 	for i := range s {
 		s[i] = int32(perm[i])
 	}
-	return g, s, NewSubset(g, s, params)
+	return g, s, mustPPR(NewSubset(g, s, params))
 }
 
 // proximityWant computes the expected M value directly from the states.
@@ -83,7 +83,7 @@ func TestProximityIncrementalMatchesFull(t *testing.T) {
 				events = append(events, graph.Event{U: u, V: v, Type: graph.Delete})
 			}
 		}
-		pr.ApplyEvents(events)
+		must0t(pr.ApplyEvents(bgt, events))
 		checkProximityConsistent(t, pr)
 	}
 }
@@ -98,7 +98,7 @@ func TestProximityRebuildRefreshAll(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		g.InsertEdge(int32(rng.Intn(20)), int32(rng.Intn(20)))
 	}
-	sub.Rebuild()
+	must0t(sub.Rebuild(bgt))
 	pr.RefreshAll()
 	checkProximityConsistent(t, pr)
 	// The matrix should actually have changed.
@@ -122,9 +122,9 @@ func TestProximityDynamicVsScratchClose(t *testing.T) {
 			events = append(events, graph.Event{U: u, V: v, Type: graph.Insert})
 		}
 	}
-	pr.ApplyEvents(events)
+	must0t(pr.ApplyEvents(bgt, events))
 
-	subScratch := NewSubset(g, s, params)
+	subScratch := mustPPR(NewSubset(g, s, params))
 	prScratch := NewProximity(subScratch, 40, 4)
 
 	dyn := pr.M.ToDense()
@@ -141,12 +141,9 @@ func TestProximityDynamicVsScratchClose(t *testing.T) {
 func TestSubsetRejectsOutOfRange(t *testing.T) {
 	g := graph.New(3)
 	g.InsertEdge(0, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on out-of-range subset node")
-		}
-	}()
-	NewSubset(g, []int32{5}, Params{Alpha: 0.2, RMax: 0.1})
+	if _, err := NewSubset(g, []int32{5}, Params{Alpha: 0.2, RMax: 0.1}); err == nil {
+		t.Fatal("expected error on out-of-range subset node")
+	}
 }
 
 func TestProximitySigmoidTransform(t *testing.T) {
@@ -183,7 +180,7 @@ func TestProximitySigmoidTransform(t *testing.T) {
 			events = append(events, graph.Event{U: u, V: v, Type: graph.Insert})
 		}
 	}
-	prSig.ApplyEvents(events)
+	must0t(prSig.ApplyEvents(bgt, events))
 	for i := 0; i < 4; i++ {
 		for _, c := range prSig.M.RowColumns(i) {
 			if v := prSig.M.Get(i, int(c)); v <= 0 || v > 1 {

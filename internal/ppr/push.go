@@ -74,12 +74,12 @@ type Engine struct {
 }
 
 // NewEngine creates an engine over g. The graph may keep growing; scratch
-// structures resize on demand.
-func NewEngine(g *graph.Graph, params Params) *Engine {
+// structures resize on demand. It returns an error when params are invalid.
+func NewEngine(g *graph.Graph, params Params) (*Engine, error) {
 	if err := params.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return &Engine{G: g, Params: params}
+	return &Engine{G: g, Params: params}, nil
 }
 
 func (e *Engine) ensureScratch() {

@@ -70,7 +70,7 @@ func TestPushEstimateWithinResidueBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := randGraph(rng, 40, 160)
 	params := Params{Alpha: 0.15, RMax: 1e-4}
-	e := NewEngine(g, params)
+	e := mustPPR(NewEngine(g, params))
 	for _, dir := range []graph.Direction{graph.Forward, graph.Reverse} {
 		st := NewState(3, dir)
 		e.Push(st)
@@ -100,7 +100,7 @@ func TestPushInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := randGraph(rng, 25, 75)
 	params := Params{Alpha: 0.2, RMax: 1e-3}
-	e := NewEngine(g, params)
+	e := mustPPR(NewEngine(g, params))
 	st := NewState(7, graph.Forward)
 	e.Push(st)
 	piAll := make([][]float64, 25)
@@ -122,7 +122,7 @@ func TestPushTerminatesBelowThreshold(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randGraph(rng, 50, 250)
 	params := Params{Alpha: 0.15, RMax: 1e-3}
-	e := NewEngine(g, params)
+	e := mustPPR(NewEngine(g, params))
 	st := NewState(0, graph.Forward)
 	e.Push(st)
 	for u, r := range st.R {
@@ -138,7 +138,7 @@ func TestDynamicPushMatchesScratch(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := randGraph(rng, 30, 120)
 	params := Params{Alpha: 0.15, RMax: 1e-4}
-	e := NewEngine(g, params)
+	e := mustPPR(NewEngine(g, params))
 	st := NewState(5, graph.Forward)
 	e.Push(st)
 
@@ -176,7 +176,7 @@ func TestDynamicPushInvariantExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	g := randGraph(rng, 20, 70)
 	params := Params{Alpha: 0.25, RMax: 1e-3}
-	e := NewEngine(g, params)
+	e := mustPPR(NewEngine(g, params))
 	st := NewState(2, graph.Forward)
 	e.Push(st)
 
@@ -218,7 +218,7 @@ func TestSinkTransitionInvariant(t *testing.T) {
 	g.InsertEdge(2, 0)
 	g.InsertEdge(2, 3)
 	// Node 3 is a sink reachable from everywhere.
-	e := NewEngine(g, params)
+	e := mustPPR(NewEngine(g, params))
 	st := NewState(0, graph.Forward)
 	e.Push(st)
 	if st.P[3] == 0 {
@@ -267,7 +267,7 @@ func TestLongStreamWithSinkChurn(t *testing.T) {
 	for v := int32(0); v < 10; v++ {
 		g.InsertEdge(v, (v+1)%10)
 	}
-	e := NewEngine(g, params)
+	e := mustPPR(NewEngine(g, params))
 	st := NewState(0, graph.Forward)
 	e.Push(st)
 	for step := 0; step < 400; step++ {
@@ -302,7 +302,7 @@ func TestAdjustEventNoEstimateIsNoOp(t *testing.T) {
 	g := graph.New(3)
 	g.InsertEdge(0, 1)
 	g.InsertEdge(1, 2)
-	e := NewEngine(g, Params{Alpha: 0.2, RMax: 0.1})
+	e := mustPPR(NewEngine(g, Params{Alpha: 0.2, RMax: 0.1}))
 	st := NewState(0, graph.Forward)
 	// No push yet: p is empty, so any adjustment must be a no-op.
 	g.InsertEdge(2, 0)
@@ -329,7 +329,7 @@ func TestSmallerRMaxTightens(t *testing.T) {
 	pi := exactPPR(g, 0, 0.15, graph.Forward)
 	var prevErr = math.Inf(1)
 	for _, rmax := range []float64{1e-2, 1e-3, 1e-4, 1e-5} {
-		e := NewEngine(g, Params{Alpha: 0.15, RMax: rmax})
+		e := mustPPR(NewEngine(g, Params{Alpha: 0.15, RMax: rmax}))
 		st := NewState(0, graph.Forward)
 		e.Push(st)
 		var errSum float64

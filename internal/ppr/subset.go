@@ -1,6 +1,7 @@
 package ppr
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tree-svd/treesvd/internal/graph"
@@ -14,7 +15,9 @@ import (
 //
 // Per-source work (initial pushes, event replay, repair pushes) is
 // embarrassingly parallel; with Params.Workers > 1 it fans out across a
-// worker pool, each worker owning its own push scratch.
+// worker pool, each worker owning its own push scratch. Every per-source
+// task is atomic: a cancelled ApplyEvents/Rebuild leaves each source either
+// fully processed or untouched, never half-adjusted.
 type Subset struct {
 	Engine *Engine
 	S      []int32
@@ -27,24 +30,21 @@ type Subset struct {
 // NewSubset builds forward and reverse PPR states for every s ∈ S on the
 // current graph, running the initial pushes. Reverse states capture the
 // transposed-graph PPR used by the STRAP proximity (Section 3.1).
-func NewSubset(g *graph.Graph, s []int32, params Params) *Subset {
+func NewSubset(g *graph.Graph, s []int32, params Params) (*Subset, error) {
 	return NewSubsetDirs(g, s, params, true, true)
 }
 
 // NewSubsetDirs is NewSubset with per-direction control: hashing-based
 // methods like DynPPE only need the forward vectors.
-func NewSubsetDirs(g *graph.Graph, s []int32, params Params, fwd, rev bool) *Subset {
+func NewSubsetDirs(g *graph.Graph, s []int32, params Params, fwd, rev bool) (*Subset, error) {
 	for _, v := range s {
 		if int(v) >= g.NumNodes() || v < 0 {
-			panic(fmt.Sprintf("ppr: subset node %d outside graph with %d nodes", v, g.NumNodes()))
+			return nil, fmt.Errorf("ppr: subset node %d outside graph with %d nodes", v, g.NumNodes())
 		}
 	}
-	sp := &Subset{Engine: NewEngine(g, params), S: append([]int32(nil), s...)}
-	w := sp.workers()
-	sp.engines = make([]*Engine, w)
-	sp.engines[0] = sp.Engine
-	for i := 1; i < w; i++ {
-		sp.engines[i] = NewEngine(g, params)
+	sp, err := newSubsetShell(g, s, params)
+	if err != nil {
+		return nil, err
 	}
 	if fwd {
 		sp.Fwd = make([]*State, len(s))
@@ -52,7 +52,7 @@ func NewSubsetDirs(g *graph.Graph, s []int32, params Params, fwd, rev bool) *Sub
 	if rev {
 		sp.Rev = make([]*State, len(s))
 	}
-	par.ForWorker(len(sp.S), w, func(worker, i int) {
+	if err := par.ForWorkerErr(nil, len(sp.S), sp.workers(), func(worker, i int) error {
 		eng := sp.engines[worker]
 		if fwd {
 			sp.Fwd[i] = NewState(sp.S[i], graph.Forward)
@@ -62,21 +62,39 @@ func NewSubsetDirs(g *graph.Graph, s []int32, params Params, fwd, rev bool) *Sub
 			sp.Rev[i] = NewState(sp.S[i], graph.Reverse)
 			eng.Push(sp.Rev[i])
 		}
-	})
-	return sp
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return sp, nil
 }
 
 // RestoreSubset rebuilds a Subset from persisted states without running
 // any pushes (the states are taken as-is). Used by the save/load path.
-func RestoreSubset(g *graph.Graph, s []int32, params Params, fwd, rev []*State) *Subset {
-	sp := &Subset{Engine: NewEngine(g, params), S: append([]int32(nil), s...), Fwd: fwd, Rev: rev}
+func RestoreSubset(g *graph.Graph, s []int32, params Params, fwd, rev []*State) (*Subset, error) {
+	sp, err := newSubsetShell(g, s, params)
+	if err != nil {
+		return nil, err
+	}
+	sp.Fwd = fwd
+	sp.Rev = rev
+	return sp, nil
+}
+
+// newSubsetShell allocates the shared engine and per-worker scratch engines.
+func newSubsetShell(g *graph.Graph, s []int32, params Params) (*Subset, error) {
+	eng, err := NewEngine(g, params)
+	if err != nil {
+		return nil, err
+	}
+	sp := &Subset{Engine: eng, S: append([]int32(nil), s...)}
 	w := sp.workers()
 	sp.engines = make([]*Engine, w)
 	sp.engines[0] = sp.Engine
 	for i := 1; i < w; i++ {
-		sp.engines[i] = NewEngine(g, params)
+		sp.engines[i], _ = NewEngine(g, params) // params already validated
 	}
-	return sp
+	return sp, nil
 }
 
 // workers resolves the configured worker count (0/1 = sequential).
@@ -100,8 +118,10 @@ type appliedEvent struct {
 // incrementally repairs every state. Cost O(|S|·(τ + 1/r_max)) per
 // Theorem 3.7's first term. The graph mutation is sequential (event order
 // matters); the per-source corrections and repair pushes run on the
-// worker pool.
-func (sp *Subset) ApplyEvents(events []graph.Event) {
+// worker pool with ctx-aware cancellation. On a non-nil error the graph
+// has already advanced but some sources may not have been repaired —
+// callers must recover by a full Rebuild before trusting the estimates.
+func (sp *Subset) ApplyEvents(ctx context.Context, events []graph.Event) error {
 	g := sp.Engine.G
 	applied := make([]appliedEvent, 0, len(events))
 	for _, ev := range events {
@@ -115,9 +135,9 @@ func (sp *Subset) ApplyEvents(events []graph.Event) {
 		})
 	}
 	if len(applied) == 0 {
-		return
+		return nil
 	}
-	par.ForWorker(len(sp.S), sp.workers(), func(worker, i int) {
+	return par.ForWorkerErr(ctx, len(sp.S), sp.workers(), func(worker, i int) error {
 		eng := sp.engines[worker]
 		if sp.Fwd != nil {
 			st := sp.Fwd[i]
@@ -133,22 +153,29 @@ func (sp *Subset) ApplyEvents(events []graph.Event) {
 			}
 			eng.Push(st)
 		}
+		return nil
 	})
 }
 
 // Rebuild recomputes every state from scratch on the current graph, the
-// O(|S|/r_max) fallback of Theorem 3.7 for very large batches.
-func (sp *Subset) Rebuild() {
-	par.ForWorker(len(sp.S), sp.workers(), func(worker, i int) {
+// O(|S|/r_max) fallback of Theorem 3.7 for very large batches. Fresh
+// states replace the old ones per source only after that source's pushes
+// finish, so a cancelled Rebuild leaves every state either old-and-valid
+// or new-and-valid.
+func (sp *Subset) Rebuild(ctx context.Context) error {
+	return par.ForWorkerErr(ctx, len(sp.S), sp.workers(), func(worker, i int) error {
 		eng := sp.engines[worker]
 		if sp.Fwd != nil {
-			sp.Fwd[i] = NewState(sp.S[i], graph.Forward)
-			eng.Push(sp.Fwd[i])
+			st := NewState(sp.S[i], graph.Forward)
+			eng.Push(st)
+			sp.Fwd[i] = st
 		}
 		if sp.Rev != nil {
-			sp.Rev[i] = NewState(sp.S[i], graph.Reverse)
-			eng.Push(sp.Rev[i])
+			st := NewState(sp.S[i], graph.Reverse)
+			eng.Push(st)
+			sp.Rev[i] = st
 		}
+		return nil
 	})
 }
 

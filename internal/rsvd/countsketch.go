@@ -1,6 +1,7 @@
 package rsvd
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/tree-svd/treesvd/internal/linalg"
@@ -50,8 +51,11 @@ func (cs *CountSketch) ApplyRight(a *sparse.CSR) *linalg.Dense {
 // dense n×p Gaussian product the sketching pass is O(nnz(A)), at the cost
 // of a weaker (1+ε) constant than the Gaussian scheme; power iterations
 // recover most of the gap.
-func SparseCW(a *sparse.CSR, opts Options) *linalg.SVDResult {
+func SparseCW(a *sparse.CSR, opts Options) (*linalg.SVDResult, error) {
 	opts = opts.withDefaults()
+	if opts.Rank <= 0 {
+		return nil, fmt.Errorf("rsvd: non-positive rank %d", opts.Rank)
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	// Count-sketch needs a larger sketch than Gaussian for the same
 	// accuracy; use 4× the Gaussian width, capped by the matrix size.
@@ -60,7 +64,7 @@ func SparseCW(a *sparse.CSR, opts Options) *linalg.SVDResult {
 		t = a.Cols
 	}
 	if t == 0 || a.NNZ() == 0 {
-		return &linalg.SVDResult{U: linalg.NewDense(a.Rows, 0), V: linalg.NewDense(a.Cols, 0)}
+		return &linalg.SVDResult{U: linalg.NewDense(a.Rows, 0), V: linalg.NewDense(a.Cols, 0)}, nil
 	}
 	cs := NewCountSketch(rng, t, a.Cols)
 	y := rangeBasis(cs.ApplyRight(a)) // rows×min(rows,t), orthonormal
@@ -73,7 +77,7 @@ func SparseCW(a *sparse.CSR, opts Options) *linalg.SVDResult {
 	small := linalg.SVD(w)
 	u := linalg.Mul(q, small.U)
 	res := &linalg.SVDResult{U: u, S: small.S, V: small.V}
-	return res.Truncate(opts.Rank)
+	return res.Truncate(opts.Rank), nil
 }
 
 // FRPCA approximates the truncated SVD of a sparse matrix in the style of
@@ -82,7 +86,7 @@ func SparseCW(a *sparse.CSR, opts Options) *linalg.SVDResult {
 // SVD competitor of Exp. 2 — identical output contract to Sparse, but it
 // always factors the full matrix in one shot (no hierarchy), which is what
 // Tree-SVD's level structure avoids re-doing on updates.
-func FRPCA(a *sparse.CSR, opts Options) *linalg.SVDResult {
+func FRPCA(a *sparse.CSR, opts Options) (*linalg.SVDResult, error) {
 	opts = opts.withDefaults()
 	if opts.PowerIters == 0 {
 		opts.PowerIters = 4

@@ -1,0 +1,10 @@
+package rsvd
+
+// mustSVD unwraps factorization results in tests; a factorization error is
+// a test failure, surfaced as a panic with the error text.
+func mustSVD[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

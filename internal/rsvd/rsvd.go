@@ -67,22 +67,22 @@ func GaussianDense(rng *rand.Rand, r, c int) *linalg.Dense {
 // For Tree-SVD's level-1 blocks the row count is |S| (small) and n is the
 // block width, so every dense intermediate is tiny; the sparse products are
 // O(nnz·p) each, matching the Theorem 3.3 accounting.
-func Sparse(a *sparse.CSR, opts Options) *linalg.SVDResult {
+func Sparse(a *sparse.CSR, opts Options) (*linalg.SVDResult, error) {
 	opts = opts.withDefaults()
 	if opts.Rank <= 0 {
-		panic(fmt.Sprintf("rsvd: non-positive rank %d", opts.Rank))
+		return nil, fmt.Errorf("rsvd: non-positive rank %d", opts.Rank)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	p := opts.sketchCols(min(a.Rows, a.Cols))
 	if p == 0 || a.NNZ() == 0 {
-		return &linalg.SVDResult{U: linalg.NewDense(a.Rows, 0), V: linalg.NewDense(a.Cols, 0)}
+		return &linalg.SVDResult{U: linalg.NewDense(a.Rows, 0), V: linalg.NewDense(a.Cols, 0)}, nil
 	}
 	if a.Cols <= opts.Rank+opts.Oversample {
 		// The sketch would be as wide as the matrix: a randomized range
 		// finder saves nothing, so take the exact thin SVD of the block
 		// directly (Gram side is Cols×Cols — tiny). Cheaper and exact for
 		// the narrow blocks produced by large b.
-		return linalg.SVDTrunc(a.ToDense(), opts.Rank)
+		return linalg.SVDTrunc(a.ToDense(), opts.Rank), nil
 	}
 	omega := GaussianDense(rng, a.Cols, p)
 	y := a.MulDense(omega) // rows×p
@@ -97,21 +97,21 @@ func Sparse(a *sparse.CSR, opts Options) *linalg.SVDResult {
 	small := linalg.SVD(w)
 	u := linalg.Mul(q, small.U)
 	res := &linalg.SVDResult{U: u, S: small.S, V: small.V}
-	return res.Truncate(opts.Rank)
+	return res.Truncate(opts.Rank), nil
 }
 
 // Dense computes a randomized truncated SVD of a dense matrix with the same
 // scheme as Sparse. Used by HSVD-style pipelines when the input block is
 // already dense.
-func Dense(a *linalg.Dense, opts Options) *linalg.SVDResult {
+func Dense(a *linalg.Dense, opts Options) (*linalg.SVDResult, error) {
 	opts = opts.withDefaults()
 	if opts.Rank <= 0 {
-		panic(fmt.Sprintf("rsvd: non-positive rank %d", opts.Rank))
+		return nil, fmt.Errorf("rsvd: non-positive rank %d", opts.Rank)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	p := opts.sketchCols(min(a.Rows, a.Cols))
 	if p == 0 {
-		return &linalg.SVDResult{U: linalg.NewDense(a.Rows, 0), V: linalg.NewDense(a.Cols, 0)}
+		return &linalg.SVDResult{U: linalg.NewDense(a.Rows, 0), V: linalg.NewDense(a.Cols, 0)}, nil
 	}
 	omega := GaussianDense(rng, a.Cols, p)
 	y := linalg.Mul(a, omega)
@@ -126,7 +126,7 @@ func Dense(a *linalg.Dense, opts Options) *linalg.SVDResult {
 	small := linalg.SVD(w)
 	u := linalg.Mul(q, small.U)
 	res := &linalg.SVDResult{U: u, S: small.S, V: small.V}
-	return res.Truncate(opts.Rank)
+	return res.Truncate(opts.Rank), nil
 }
 
 // rangeBasis returns an orthonormal basis of the column space of y: the

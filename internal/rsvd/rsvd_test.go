@@ -44,7 +44,7 @@ func relErr(approx *linalg.SVDResult, a *sparse.CSR, d int) (got, best float64) 
 func TestSparseRecoversExactLowRank(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	a := lowRankCSR(rng, 20, 60, 3, 0)
-	res := Sparse(a, Options{Rank: 3, Seed: 7})
+	res := mustSVD(Sparse(a, Options{Rank: 3, Seed: 7}))
 	got, _ := relErr(res, a, 3)
 	if got > 1e-6*a.FrobNorm() {
 		t.Fatalf("exact rank-3 matrix: residual %g", got)
@@ -54,7 +54,7 @@ func TestSparseRecoversExactLowRank(t *testing.T) {
 func TestSparseNearOptimal(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	a := lowRankCSR(rng, 30, 80, 5, 0.05)
-	res := Sparse(a, Options{Rank: 5, Seed: 3, PowerIters: 2})
+	res := mustSVD(Sparse(a, Options{Rank: 5, Seed: 3, PowerIters: 2}))
 	got, best := relErr(res, a, 5)
 	if got > 1.2*best+1e-12 {
 		t.Fatalf("residual %g > 1.2× optimal %g", got, best)
@@ -64,7 +64,7 @@ func TestSparseNearOptimal(t *testing.T) {
 func TestSparseOrthonormalFactors(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	a := lowRankCSR(rng, 15, 40, 4, 0.1)
-	res := Sparse(a, Options{Rank: 4, Seed: 5})
+	res := mustSVD(Sparse(a, Options{Rank: 4, Seed: 5}))
 	gu := linalg.Gram(res.U)
 	if d := linalg.MaxAbsDiff(gu, linalg.Identity(res.U.Cols)); d > 1e-8 {
 		t.Fatalf("U not orthonormal: %g", d)
@@ -78,8 +78,8 @@ func TestSparseOrthonormalFactors(t *testing.T) {
 func TestSparseDeterministicForSeed(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	a := lowRankCSR(rng, 12, 30, 3, 0.1)
-	r1 := Sparse(a, Options{Rank: 3, Seed: 42})
-	r2 := Sparse(a, Options{Rank: 3, Seed: 42})
+	r1 := mustSVD(Sparse(a, Options{Rank: 3, Seed: 42}))
+	r2 := mustSVD(Sparse(a, Options{Rank: 3, Seed: 42}))
 	if d := linalg.MaxAbsDiff(r1.U, r2.U); d != 0 {
 		t.Fatalf("same seed, different U: %g", d)
 	}
@@ -90,7 +90,7 @@ func TestSparseRankClamp(t *testing.T) {
 	// at most min(rows, cols) triplets.
 	rng := rand.New(rand.NewSource(5))
 	a := lowRankCSR(rng, 5, 9, 2, 0.1)
-	res := Sparse(a, Options{Rank: 20, Seed: 1})
+	res := mustSVD(Sparse(a, Options{Rank: 20, Seed: 1}))
 	if res.Rank() > 5 {
 		t.Fatalf("rank %d > min dimension 5", res.Rank())
 	}
@@ -98,7 +98,7 @@ func TestSparseRankClamp(t *testing.T) {
 
 func TestSparseEmptyMatrix(t *testing.T) {
 	a := sparse.NewBuilder(4, 10).Build()
-	res := Sparse(a, Options{Rank: 3, Seed: 1})
+	res := mustSVD(Sparse(a, Options{Rank: 3, Seed: 1}))
 	if res.Rank() != 0 {
 		t.Fatalf("empty matrix rank %d", res.Rank())
 	}
@@ -107,8 +107,8 @@ func TestSparseEmptyMatrix(t *testing.T) {
 func TestDenseMatchesSparse(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	a := lowRankCSR(rng, 18, 35, 4, 0.05)
-	rs := Sparse(a, Options{Rank: 4, Seed: 9, PowerIters: 2})
-	rd := Dense(a.ToDense(), Options{Rank: 4, Seed: 9, PowerIters: 2})
+	rs := mustSVD(Sparse(a, Options{Rank: 4, Seed: 9, PowerIters: 2}))
+	rd := mustSVD(Dense(a.ToDense(), Options{Rank: 4, Seed: 9, PowerIters: 2}))
 	// Same seed, same algorithm → identical sketches → identical results.
 	if d := linalg.MaxAbsDiff(rs.Reconstruct(), rd.Reconstruct()); d > 1e-9 {
 		t.Fatalf("dense/sparse paths diverge: %g", d)
@@ -134,7 +134,7 @@ func TestCountSketchApplyRight(t *testing.T) {
 func TestSparseCWNearOptimal(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	a := lowRankCSR(rng, 25, 90, 4, 0.05)
-	res := SparseCW(a, Options{Rank: 4, Seed: 11, PowerIters: 2})
+	res := mustSVD(SparseCW(a, Options{Rank: 4, Seed: 11, PowerIters: 2}))
 	got, best := relErr(res, a, 4)
 	if got > 1.3*best+1e-12 {
 		t.Fatalf("count-sketch residual %g > 1.3× optimal %g", got, best)
@@ -144,7 +144,7 @@ func TestSparseCWNearOptimal(t *testing.T) {
 func TestFRPCANearOptimal(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	a := lowRankCSR(rng, 30, 100, 6, 0.05)
-	res := FRPCA(a, Options{Rank: 6, Seed: 13})
+	res := mustSVD(FRPCA(a, Options{Rank: 6, Seed: 13}))
 	got, best := relErr(res, a, 6)
 	if got > 1.1*best+1e-12 {
 		t.Fatalf("FRPCA residual %g > 1.1× optimal %g", got, best)
@@ -156,8 +156,8 @@ func TestPowerItersImproveAccuracy(t *testing.T) {
 	// the approximation worse (allowing tiny noise slack).
 	rng := rand.New(rand.NewSource(10))
 	a := lowRankCSR(rng, 30, 120, 10, 0.3)
-	r0 := Sparse(a, Options{Rank: 4, Seed: 21, PowerIters: 0})
-	r3 := Sparse(a, Options{Rank: 4, Seed: 21, PowerIters: 3})
+	r0 := mustSVD(Sparse(a, Options{Rank: 4, Seed: 21, PowerIters: 0}))
+	r3 := mustSVD(Sparse(a, Options{Rank: 4, Seed: 21, PowerIters: 3}))
 	e0, _ := relErr(r0, a, 4)
 	e3, _ := relErr(r3, a, 4)
 	if e3 > e0*1.01 {

@@ -46,7 +46,10 @@ func (r *SVDResult) Rank() int { return len(r.S) }
 // SVD's cost once n is large. Only Dim, Branch, Levels, Seed and Workers
 // of cfg are used.
 func FactorizeMatrix(m *SparseMatrix, cfg Config) (*SVDResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	tcfg := core.Config{
 		Rank: cfg.Dim, Branch: cfg.Branch, Levels: cfg.Levels,
 		Delta: cfg.Delta, Seed: cfg.Seed, Workers: cfg.Workers,
@@ -58,7 +61,10 @@ func FactorizeMatrix(m *SparseMatrix, cfg Config) (*SVDResult, error) {
 	if csr.NNZ() == 0 {
 		return nil, fmt.Errorf("treesvd: matrix is empty")
 	}
-	root := core.Factorize(csr, tcfg)
+	root, err := core.Factorize(csr, tcfg)
+	if err != nil {
+		return nil, err
+	}
 	out := &SVDResult{S: append([]float64(nil), root.S...)}
 	out.U = make([][]float64, root.U.Rows)
 	for i := range out.U {

@@ -1,6 +1,7 @@
 package treesvd
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -30,8 +31,12 @@ type savedEmbedder struct {
 	Tree    *core.TreeSnapshot
 }
 
-// Save serializes the embedder's complete state to w (gob encoding).
+// Save serializes the embedder's complete state to w (gob encoding). It
+// takes the update lock, so it is safe to call concurrently with
+// ApplyEvents/Rebuild and always writes a fully committed state.
 func (e *Embedder) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	saved := savedEmbedder{
 		Version: persistVersion,
 		Config:  e.cfg,
@@ -54,12 +59,18 @@ func Load(r io.Reader) (*Embedder, error) {
 	if saved.Version != persistVersion {
 		return nil, fmt.Errorf("treesvd: save format version %d, want %d", saved.Version, persistVersion)
 	}
-	cfg := saved.Config.withDefaults()
+	cfg, err := saved.Config.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	params := ppr.Params{Alpha: cfg.Alpha, RMax: cfg.RMax, Workers: cfg.Workers}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	sub := ppr.RestoreSubset(saved.Graph, saved.Subset, params, saved.Fwd, saved.Rev)
+	sub, err := ppr.RestoreSubset(saved.Graph, saved.Subset, params, saved.Fwd, saved.Rev)
+	if err != nil {
+		return nil, err
+	}
 	prox := ppr.RestoreProximity(sub, saved.M)
 	tcfg := core.Config{
 		Rank: cfg.Dim, Branch: cfg.Branch, Levels: cfg.Levels,
@@ -69,5 +80,14 @@ func Load(r io.Reader) (*Embedder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Embedder{cfg: cfg, subset: saved.Subset, prox: prox, tree: tree}, nil
+	e := newEmbedder(cfg, saved.Subset, prox, tree)
+	if !tree.Built() {
+		// Defensive: a snapshot saved before any Build (not reachable via
+		// New+Save, but cheap to repair here).
+		if err := tree.Build(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	e.publishLocked()
+	return e, nil
 }

@@ -24,7 +24,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			events = append(events, Event{U: u, V: v, Type: Insert})
 		}
 	}
-	emb.ApplyEvents(events)
+	mustTB(emb.ApplyEvents(bgt, events))
 
 	var buf bytes.Buffer
 	if err := emb.Save(&buf); err != nil {
@@ -60,8 +60,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			more = append(more, Event{U: u, V: v, Type: Insert})
 		}
 	}
-	r1 := emb.ApplyEvents(more)
-	r2 := loaded.ApplyEvents(more)
+	r1 := mustTB(emb.ApplyEvents(bgt, more))
+	r2 := mustTB(loaded.ApplyEvents(bgt, more))
 	if r1 != r2 {
 		t.Fatalf("rebuild counts diverge after load: %d vs %d", r1, r2)
 	}

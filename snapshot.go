@@ -1,0 +1,183 @@
+package treesvd
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tree-svd/treesvd/internal/core"
+	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// Snapshot is one immutable, fully consistent version of the embedding
+// state, published atomically by New/ApplyEvents/Rebuild. All methods are
+// safe for concurrent use from any number of goroutines, and a snapshot
+// stays valid and numerically unchanged forever — later updates publish
+// new snapshots instead of mutating old ones. Hold one to serve a batch
+// of reads (several Recommend calls, an Embedding plus a RightEmbedding)
+// against a single consistent version while updates proceed underneath.
+type Snapshot struct {
+	version uint64
+	subset  []int32       // shared with Embedder; immutable after New
+	rowOf   map[int32]int // shared with Embedder; immutable after New
+	x       *linalg.Dense // frozen U√Σ
+	root    *linalg.SVDResult
+	m       *sparse.CSR // proximity matrix frozen at publish time
+	outNbrs map[int32][]int32
+	stats   Stats
+
+	// y is the right embedding Ṽ√Σ, materialized at most once per
+	// snapshot on first use and reused by every later RightEmbedding/
+	// Recommend on this version. yComputes counts materializations
+	// (observable by tests: it must never exceed 1).
+	yOnce     sync.Once
+	y         *linalg.Dense
+	yComputes atomic.Int32
+}
+
+// Version returns the snapshot's version counter; it increases by one
+// with every snapshot the Embedder publishes.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Subset returns the embedded node ids in row order.
+func (s *Snapshot) Subset() []int32 { return append([]int32(nil), s.subset...) }
+
+// Stats returns the factorization work counters of the update that
+// published this snapshot.
+func (s *Snapshot) Stats() Stats { return s.stats }
+
+// Embedding returns the |S|×d subset embedding X = U√Σ of this snapshot
+// as a row-major matrix: row i embeds Subset()[i].
+func (s *Snapshot) Embedding() [][]float64 { return toRows(s.x) }
+
+// RightEmbedding returns the n×d right-factor embedding Y = Ṽ√Σ of this
+// snapshot (row v embeds graph node v). Y is computed once per snapshot
+// and cached; repeated calls (and Recommend) reuse it.
+func (s *Snapshot) RightEmbedding() [][]float64 { return toRows(s.right()) }
+
+// right materializes Y = Σ^{-1/2}·Uᵀ·M at most once (Theorem 3.2's
+// recovery of the right factor from the frozen proximity matrix).
+func (s *Snapshot) right() *linalg.Dense {
+	s.yOnce.Do(func() {
+		s.yComputes.Add(1)
+		s.y = core.RightEmbeddingOf(s.root, s.m)
+	})
+	return s.y
+}
+
+func toRows(m *linalg.Dense) [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		out[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return out
+}
+
+// Recommendation is one ranked link candidate.
+type Recommendation struct {
+	Node  int32
+	Score float64
+}
+
+// recHeap is a min-heap keyed by (Score asc, Node desc): the root is the
+// weakest kept candidate, so top-k selection peeks and replaces it in
+// O(log k) instead of re-sorting the slice on every improvement.
+type recHeap []Recommendation
+
+func (h recHeap) Len() int { return len(h) }
+func (h recHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Node > h[j].Node
+}
+func (h recHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *recHeap) Push(x interface{}) { *h = append(*h, x.(Recommendation)) }
+func (h *recHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Recommend returns the top-k candidate targets for subset node s, ranked
+// by the factorization score dot(X[s], Y[v]) — the paper's motivating
+// application. Node s itself and its out-neighbors as of this snapshot's
+// version are excluded. Results are ordered by descending score, ties by
+// ascending node id. It returns an error if s is not in the subset.
+func (s *Snapshot) Recommend(src int32, k int) ([]Recommendation, error) {
+	row, ok := s.rowOf[src]
+	if !ok {
+		return nil, fmt.Errorf("treesvd: node %d is not in the embedded subset", src)
+	}
+	if s.root.Rank() == 0 {
+		return nil, fmt.Errorf("treesvd: empty factorization")
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	y := s.right()
+	xs := s.x.Row(row)
+	exclude := make(map[int32]bool, len(s.outNbrs[src])+1)
+	exclude[src] = true
+	for _, v := range s.outNbrs[src] {
+		exclude[v] = true
+	}
+	top := make(recHeap, 0, k)
+	for v := 0; v < y.Rows; v++ {
+		if exclude[int32(v)] {
+			continue
+		}
+		score := dot(xs, y.Row(v))
+		switch {
+		case len(top) < k:
+			heap.Push(&top, Recommendation{Node: int32(v), Score: score})
+		case score > top[0].Score:
+			top[0] = Recommendation{Node: int32(v), Score: score}
+			heap.Fix(&top, 0)
+		}
+	}
+	// Drain ascending (worst first) into the back of the output so the
+	// result reads best-first.
+	out := make([]Recommendation, len(top))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&top).(Recommendation)
+	}
+	return out, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// publishLocked freezes the current pipeline state into a new immutable
+// snapshot and publishes it. Caller holds e.mu; the tree must be built.
+// The proximity matrix is captured as a CSR copy (the DynRow keeps
+// mutating afterwards) and subset out-neighbor lists are copied out of
+// the graph for the same reason.
+func (e *Embedder) publishLocked() {
+	root := e.tree.Root()
+	g := e.prox.Sub.Engine.G
+	nbrs := make(map[int32][]int32, len(e.subset))
+	for _, s := range e.subset {
+		nbrs[s] = append([]int32(nil), g.OutNeighbors(s)...)
+	}
+	ts := e.tree.Stats()
+	e.snap.Store(&Snapshot{
+		version: e.version.Add(1),
+		subset:  e.subset,
+		rowOf:   e.rowOf,
+		x:       root.USqrtS(),
+		root:    root,
+		m:       e.prox.M.ToCSR(),
+		outNbrs: nbrs,
+		stats:   Stats{Level1Rebuilt: ts.Level1Rebuilt, Skipped: ts.Skipped, UpperRebuilt: ts.UpperRebuilt},
+	})
+}

@@ -9,7 +9,7 @@
 //	emb, err := treesvd.New(g, subset, treesvd.Defaults())
 //	X := emb.Embedding()                       // |S|×d subset embedding
 //	...
-//	emb.ApplyEvents(events)                    // graph changed
+//	emb.ApplyEvents(ctx, events)               // graph changed
 //	X = emb.Embedding()                        // lazily-updated embedding
 //
 // New runs the full pipeline: Forward-Push personalized PageRank on the
@@ -20,11 +20,23 @@
 // proximity matrix absorbs the changes with per-block Frobenius
 // bookkeeping, and only blocks violating the Lemma 3.4 trigger are
 // re-factored (Algorithm 4).
+//
+// # Concurrency
+//
+// Reads and updates are decoupled by snapshot isolation: every successful
+// New/ApplyEvents/Rebuild atomically publishes an immutable Snapshot, and
+// every read method (Embedding, RightEmbedding, Recommend, LastStats)
+// serves from the currently published snapshot. Any number of goroutines
+// may read — directly or via Snapshot() — while a single update is in
+// flight; updates themselves are serialized by an internal mutex. See the
+// Snapshot type for pinning a consistent version across several reads.
 package treesvd
 
 import (
+	"context"
 	"fmt"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tree-svd/treesvd/internal/core"
 	"github.com/tree-svd/treesvd/internal/graph"
@@ -52,7 +64,8 @@ func NewGraph() *Graph { return graph.New(0) }
 func NewGraphN(n int) *Graph { return graph.New(n) }
 
 // Config bundles every knob of the pipeline. Zero values are replaced by
-// the Defaults() counterparts.
+// the Defaults() counterparts; negative values for Dim, Alpha, RMax or
+// Delta are rejected.
 type Config struct {
 	// Dim is the embedding dimension d (default 32).
 	Dim int
@@ -84,15 +97,27 @@ func Defaults() Config {
 	return Config{Dim: 32, Alpha: 0.15, RMax: 1e-4, Branch: 8, Levels: 3, Delta: 0.65, Seed: 1}
 }
 
-func (c Config) withDefaults() Config {
+// withDefaults fills zero values from Defaults and rejects negative knobs
+// instead of silently substituting them.
+func (c Config) withDefaults() (Config, error) {
+	switch {
+	case c.Dim < 0:
+		return c, fmt.Errorf("treesvd: negative Dim %d", c.Dim)
+	case c.Alpha < 0:
+		return c, fmt.Errorf("treesvd: negative Alpha %g", c.Alpha)
+	case c.RMax < 0:
+		return c, fmt.Errorf("treesvd: negative RMax %g", c.RMax)
+	case c.Delta < 0:
+		return c, fmt.Errorf("treesvd: negative Delta %g", c.Delta)
+	}
 	d := Defaults()
-	if c.Dim <= 0 {
+	if c.Dim == 0 {
 		c.Dim = d.Dim
 	}
-	if c.Alpha <= 0 {
+	if c.Alpha == 0 {
 		c.Alpha = d.Alpha
 	}
-	if c.RMax <= 0 {
+	if c.RMax == 0 {
 		c.RMax = d.RMax
 	}
 	if c.Branch <= 0 {
@@ -107,22 +132,43 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = d.Seed
 	}
-	return c
+	return c, nil
 }
 
 // Embedder maintains subset embeddings over a dynamic graph.
+//
+// Concurrency contract: ApplyEvents, Rebuild and Save serialize on an
+// internal mutex (safe from any goroutine); Snapshot, Embedding,
+// RightEmbedding, Recommend, LastStats, Subset and Version are lock-free
+// reads of the last published snapshot and are safe to call concurrently
+// with an in-flight update. Graph() exposes mutable state owned by the
+// update path and must not be mutated (or read concurrently with
+// ApplyEvents) by callers.
 type Embedder struct {
 	cfg    Config
 	subset []int32
-	prox   *ppr.Proximity
-	tree   *core.Tree
+	rowOf  map[int32]int
+
+	mu   sync.Mutex // serializes updates (ApplyEvents/Rebuild/Save)
+	prox *ppr.Proximity
+	tree *core.Tree
+	// stale is set when a cancelled/failed update left the PPR estimates
+	// out of sync with the already-advanced graph; the next update then
+	// takes the full-rebuild path to recover.
+	stale bool
+
+	version atomic.Uint64
+	snap    atomic.Pointer[Snapshot]
 }
 
-// New builds the initial embedding state for subset over g. The graph is
-// retained and mutated by ApplyEvents; callers must not mutate it
-// directly afterwards.
+// New builds the initial embedding state for subset over g and publishes
+// the first snapshot. The graph is retained and mutated by ApplyEvents;
+// callers must not mutate it directly afterwards.
 func New(g *Graph, subset []int32, cfg Config) (*Embedder, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if len(subset) == 0 {
 		return nil, fmt.Errorf("treesvd: empty subset")
 	}
@@ -149,67 +195,139 @@ func New(g *Graph, subset []int32, cfg Config) (*Embedder, error) {
 	if maxNodes < g.NumNodes() {
 		maxNodes = g.NumNodes()
 	}
-	sub := ppr.NewSubset(g, subset, params)
+	sub, err := ppr.NewSubset(g, subset, params)
+	if err != nil {
+		return nil, err
+	}
 	prox := ppr.NewProximity(sub, maxNodes, tcfg.Blocks())
-	tree := core.NewTree(prox.M, tcfg)
-	tree.Build()
-	return &Embedder{cfg: cfg, subset: append([]int32(nil), subset...), prox: prox, tree: tree}, nil
+	tree, err := core.NewTree(prox.M, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Build(context.Background()); err != nil {
+		return nil, err
+	}
+	e := newEmbedder(cfg, subset, prox, tree)
+	e.publishLocked()
+	return e, nil
+}
+
+// newEmbedder wires the shared fields (used by New and Load).
+func newEmbedder(cfg Config, subset []int32, prox *ppr.Proximity, tree *core.Tree) *Embedder {
+	e := &Embedder{
+		cfg:    cfg,
+		subset: append([]int32(nil), subset...),
+		rowOf:  make(map[int32]int, len(subset)),
+		prox:   prox,
+		tree:   tree,
+	}
+	for i, v := range e.subset {
+		e.rowOf[v] = i
+	}
+	return e
 }
 
 // Subset returns the embedded node ids in row order.
 func (e *Embedder) Subset() []int32 { return append([]int32(nil), e.subset...) }
 
 // ApplyEvents advances the graph through a batch of edge events and
-// lazily refreshes the factorization. It returns the number of level-1
-// blocks that were re-factored (0 when every block stayed within the
-// Eqn. 2 tolerance).
+// lazily refreshes the factorization, publishing a new snapshot on
+// success. It returns the number of level-1 blocks that were re-factored
+// (0 when every block stayed within the Eqn. 2 tolerance).
+//
+// Cancelling ctx aborts the update with ctx's error; the last published
+// snapshot stays intact and readable, and the embedder recovers on the
+// next successful ApplyEvents or Rebuild (taking the from-scratch path if
+// the interrupted update left the PPR estimates behind the graph).
 //
 // Following Theorem 3.7's min(τ + 1/r_max, |S|/r_max) accounting, a batch
 // larger than 1/r_max events is handled by recomputing the PPR states
 // from scratch instead of replaying each event — the incremental path
 // would cost more than a fresh push per source.
-func (e *Embedder) ApplyEvents(events []Event) int {
-	if e.prox.Sub.RebuildThreshold(len(events)) {
-		e.prox.Sub.Engine.G.ApplyAll(events)
-		e.prox.Sub.Rebuild()
-		e.prox.RefreshAll()
-	} else {
-		e.prox.ApplyEvents(events)
+func (e *Embedder) ApplyEvents(ctx context.Context, events []Event) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return e.tree.Update()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if e.stale || e.prox.Sub.RebuildThreshold(len(events)) {
+		// Large batch (the Theorem 3.7 fallback) or recovery from an
+		// interrupted update: advance the graph, then recompute PPR and
+		// proximity from scratch.
+		e.prox.Sub.Engine.G.ApplyAll(events)
+		e.stale = true // graph is ahead of the estimates until Rebuild lands
+		if err := e.prox.Sub.Rebuild(ctx); err != nil {
+			return 0, err
+		}
+		e.prox.RefreshAll()
+		e.stale = false
+	} else {
+		if err := e.prox.ApplyEvents(ctx, events); err != nil {
+			e.stale = true
+			return 0, err
+		}
+	}
+	rebuilt, err := e.tree.Update(ctx)
+	if err != nil {
+		// The tree commit is transactional: its caches and the DynRow
+		// baselines are untouched, so the violating blocks re-trigger on
+		// the next update. No stale flag needed.
+		return 0, err
+	}
+	e.publishLocked()
+	return rebuilt, nil
 }
 
 // Rebuild recomputes PPR, proximity and the full tree from scratch on the
 // current graph — the Tree-SVD-S path, useful after massive changes
-// (Theorem 3.7's O(|S|/r_max) fallback).
-func (e *Embedder) Rebuild() {
-	e.prox.Sub.Rebuild()
+// (Theorem 3.7's O(|S|/r_max) fallback). On success a new snapshot is
+// published; on error/cancellation the last snapshot stays intact.
+func (e *Embedder) Rebuild(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.stale = true
+	if err := e.prox.Sub.Rebuild(ctx); err != nil {
+		return err
+	}
 	e.prox.RefreshAll()
-	e.tree.Build()
+	e.stale = false
+	if err := e.tree.Build(ctx); err != nil {
+		return err
+	}
+	e.publishLocked()
+	return nil
 }
 
-// Embedding returns the |S|×d subset embedding X = U√Σ as a row-major
-// matrix: row i embeds Subset()[i]. The rows follow the order of the
-// subset passed to New.
-func (e *Embedder) Embedding() [][]float64 {
-	x := e.tree.Embedding()
-	out := make([][]float64, x.Rows)
-	for i := range out {
-		out[i] = append([]float64(nil), x.Row(i)...)
-	}
-	return out
-}
+// Snapshot returns the currently published immutable snapshot. Safe from
+// any goroutine; never nil.
+func (e *Embedder) Snapshot() *Snapshot { return e.snap.Load() }
 
-// RightEmbedding returns the n×d right-factor embedding Y = Ṽ√Σ (row v
-// embeds graph node v); score candidate links from subset node s to any
-// node v as dot(X[s], Y[v]).
-func (e *Embedder) RightEmbedding() [][]float64 {
-	y := e.tree.RightEmbedding()
-	out := make([][]float64, y.Rows)
-	for i := range out {
-		out[i] = append([]float64(nil), y.Row(i)...)
-	}
-	return out
+// Version returns the version counter of the current snapshot; it
+// increases by one with every published update.
+func (e *Embedder) Version() uint64 { return e.Snapshot().Version() }
+
+// Embedding returns the |S|×d subset embedding X = U√Σ of the current
+// snapshot as a row-major matrix: row i embeds Subset()[i].
+func (e *Embedder) Embedding() [][]float64 { return e.Snapshot().Embedding() }
+
+// RightEmbedding returns the n×d right-factor embedding Y = Ṽ√Σ of the
+// current snapshot (row v embeds graph node v); score candidate links
+// from subset node s to any node v as dot(X[s], Y[v]).
+func (e *Embedder) RightEmbedding() [][]float64 { return e.Snapshot().RightEmbedding() }
+
+// Recommend returns the top-k candidate targets for subset node s from
+// the current snapshot; see Snapshot.Recommend.
+func (e *Embedder) Recommend(s int32, k int) ([]Recommendation, error) {
+	return e.Snapshot().Recommend(s, k)
 }
 
 // Stats reports the work done by the last ApplyEvents/Rebuild.
@@ -219,78 +337,11 @@ type Stats struct {
 	Level1Rebuilt, Skipped, UpperRebuilt int
 }
 
-// LastStats returns the factorization work counters of the most recent
-// update.
-func (e *Embedder) LastStats() Stats {
-	s := e.tree.Stats()
-	return Stats{Level1Rebuilt: s.Level1Rebuilt, Skipped: s.Skipped, UpperRebuilt: s.UpperRebuilt}
-}
+// LastStats returns the factorization work counters of the update that
+// published the current snapshot.
+func (e *Embedder) LastStats() Stats { return e.Snapshot().Stats() }
 
 // Graph exposes the embedded graph (owned by the Embedder; mutate only
-// through ApplyEvents).
+// through ApplyEvents, and do not read it concurrently with an in-flight
+// update — use Snapshot for isolated reads).
 func (e *Embedder) Graph() *Graph { return e.prox.Sub.Engine.G }
-
-// Recommendation is one ranked link candidate.
-type Recommendation struct {
-	Node  int32
-	Score float64
-}
-
-// Recommend returns the top-k candidate targets for subset node s, ranked
-// by the factorization score dot(X[s], Y[v]) — the paper's motivating
-// application. Existing out-neighbors of s and s itself are excluded.
-// It returns an error if s is not in the subset.
-func (e *Embedder) Recommend(s int32, k int) ([]Recommendation, error) {
-	row := -1
-	for i, v := range e.subset {
-		if v == s {
-			row = i
-			break
-		}
-	}
-	if row < 0 {
-		return nil, fmt.Errorf("treesvd: node %d is not in the embedded subset", s)
-	}
-	if e.tree.Root().Rank() == 0 {
-		return nil, fmt.Errorf("treesvd: empty factorization")
-	}
-	y := e.tree.RightEmbedding()
-	xs := e.tree.Embedding().Row(row)
-	g := e.Graph()
-	exclude := make(map[int32]bool, g.OutDeg(s)+1)
-	exclude[s] = true
-	for _, v := range g.OutNeighbors(s) {
-		exclude[v] = true
-	}
-	top := make([]Recommendation, 0, k+1)
-	for v := 0; v < y.Rows; v++ {
-		if exclude[int32(v)] {
-			continue
-		}
-		score := dot(xs, y.Row(v))
-		switch {
-		case len(top) < k:
-			top = append(top, Recommendation{Node: int32(v), Score: score})
-			if len(top) == k {
-				sortRecs(top)
-			}
-		case score > top[k-1].Score:
-			top[k-1] = Recommendation{Node: int32(v), Score: score}
-			sortRecs(top)
-		}
-	}
-	sortRecs(top)
-	return top, nil
-}
-
-func dot(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
-}
-
-func sortRecs(r []Recommendation) {
-	sort.SliceStable(r, func(a, b int) bool { return r[a].Score > r[b].Score })
-}

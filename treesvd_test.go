@@ -60,7 +60,7 @@ func TestApplyEventsUpdates(t *testing.T) {
 			events = append(events, Event{U: u, V: v, Type: Insert})
 		}
 	}
-	rebuilt := emb.ApplyEvents(events)
+	rebuilt := mustTB(emb.ApplyEvents(bgt, events))
 	if rebuilt == 0 {
 		t.Fatal("δ=0 with 60 insertions rebuilt nothing")
 	}
@@ -89,7 +89,7 @@ func TestRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	emb.Rebuild()
+	must0tb(emb.Rebuild(bgt))
 	if x := emb.Embedding(); len(x) != 2 {
 		t.Fatal("rebuild broke embedding")
 	}
@@ -116,15 +116,35 @@ func TestNewRejectsBadInput(t *testing.T) {
 }
 
 func TestConfigDefaultsFill(t *testing.T) {
-	c := Config{}.withDefaults()
+	c := mustTB(Config{}.withDefaults())
 	d := Defaults()
 	if c != d {
 		t.Fatalf("withDefaults() = %+v, want %+v", c, d)
 	}
 	// Partial overrides survive.
-	c = Config{Dim: 64}.withDefaults()
+	c = mustTB(Config{Dim: 64}.withDefaults())
 	if c.Dim != 64 || c.Branch != 8 {
 		t.Fatal("partial defaults wrong")
+	}
+}
+
+func TestConfigRejectsNegatives(t *testing.T) {
+	for _, bad := range []Config{
+		{Dim: -1},
+		{Alpha: -0.1},
+		{RMax: -1e-4},
+		{Delta: -0.5},
+	} {
+		if _, err := bad.withDefaults(); err == nil {
+			t.Fatalf("withDefaults accepted negative knob %+v", bad)
+		}
+	}
+	// New surfaces the same rejection.
+	g := NewGraphN(3)
+	g.InsertEdge(0, 1)
+	g.InsertEdge(1, 0)
+	if _, err := New(g, []int32{0}, Config{Dim: -8}); err == nil {
+		t.Fatal("New accepted negative Dim")
 	}
 }
 
@@ -136,7 +156,7 @@ func TestMaxNodesGrowth(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Insert edges touching nodes beyond the initial graph size.
-	emb.ApplyEvents([]Event{{U: 0, V: 35, Type: Insert}, {U: 35, V: 1, Type: Insert}})
+	mustTB(emb.ApplyEvents(bgt, []Event{{U: 0, V: 35, Type: Insert}, {U: 35, V: 1, Type: Insert}}))
 	y := emb.RightEmbedding()
 	if len(y) != 40 {
 		t.Fatalf("right embedding rows %d, want MaxNodes=40", len(y))
@@ -227,7 +247,7 @@ func TestApplyEventsLargeBatchRebuildFallback(t *testing.T) {
 			events = append(events, Event{U: u, V: v, Type: Insert})
 		}
 	}
-	emb.ApplyEvents(events)
+	mustTB(emb.ApplyEvents(bgt, events))
 	after := emb.Embedding()
 	changed := false
 	for i := range before {
@@ -241,5 +261,5 @@ func TestApplyEventsLargeBatchRebuildFallback(t *testing.T) {
 		t.Fatal("embedding unchanged after 300-event rebuild-path batch")
 	}
 	// Further small updates still work on the rebuilt state.
-	emb.ApplyEvents([]Event{{U: 1, V: 49, Type: Insert}})
+	mustTB(emb.ApplyEvents(bgt, []Event{{U: 1, V: 49, Type: Insert}}))
 }
