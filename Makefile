@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench fmt
+.PHONY: ci vet build test race bench bench-kernels fmt
 
 ci: vet build test race
 
@@ -22,6 +22,11 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 50x .
+
+# Emits BENCH_KERNELS.json: ns/op, allocs/op and B/op for every hot
+# linear-algebra kernel across worker budgets (see internal/linalg/bench_test.go).
+bench-kernels:
+	BENCH_KERNELS_OUT=$(CURDIR)/BENCH_KERNELS.json $(GO) test -run TestEmitKernelBench -v ./internal/linalg
 
 fmt:
 	gofmt -l .

@@ -51,7 +51,7 @@ func RunExp3NC(o Options) []*Table {
 			record("RandNE", baselines.SubsetRows(baselines.RandNE(gMF, baselines.DefaultRandNEConfig(o.Dim, o.Seed)), s))
 			record("DynPPE", dyn.Embedding())
 			csr := prox.M.ToCSR()
-			strap := must(rsvd.Sparse(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2}))
+			strap := must(rsvd.Sparse(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2, Workers: o.Workers}))
 			record("Subset-STRAP", strap.USqrtS())
 			tree := must(core.NewTree(prox.M, o.treeConfig()))
 			must0(tree.Build(bg))
@@ -197,7 +197,7 @@ func RunExp4(o Options) *Table {
 			t0 := time.Now()
 			must0(proxS.ApplyEvents(bg, b))
 			t1 := time.Now()
-			strapEmb = must(rsvd.Sparse(proxS.M.ToCSR(), rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2})).USqrtS()
+			strapEmb = must(rsvd.Sparse(proxS.M.ToCSR(), rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2, Workers: o.Workers})).USqrtS()
 			stSVD += time.Since(t1)
 			st += time.Since(t0)
 		}
@@ -277,7 +277,7 @@ func (o Options) exp4LPDataset(t *Table, prof dataset.Profile) {
 	for _, b := range plan.batches {
 		t0 := time.Now()
 		must0(proxS.ApplyEvents(bg, b))
-		r := must(rsvd.Sparse(proxS.M.ToCSR(), rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2}))
+		r := must(rsvd.Sparse(proxS.M.ToCSR(), rsvd.Options{Rank: o.Dim, Seed: o.Seed, PowerIters: 2, Workers: o.Workers}))
 		strapRes = &baselines.STRAPResult{Left: r.USqrtS(), Right: core.RightEmbeddingOf(r, proxS.M.ToCSR())}
 		st += time.Since(t0)
 	}

@@ -134,7 +134,7 @@ func RunExp2(o Options) *Table {
 		Header: []string{"Dataset", "Method", "SVD time", "Micro-F1", "LP-Precision"},
 	}
 	treeCfg := o.treeConfig()
-	hsvdCfg := hsvd.Config{Rank: o.Dim, Blocks: treeCfg.Blocks(), Branch: treeCfg.Branch}
+	hsvdCfg := hsvd.Config{Rank: o.Dim, Blocks: treeCfg.Blocks(), Branch: treeCfg.Branch, Workers: o.Workers}
 	profiles := []dataset.Profile{dataset.Patent(), dataset.MagAuthors(), dataset.Wikipedia(),
 		dataset.YouTube(), dataset.Flickr()}
 	for _, prof := range profiles {
@@ -167,7 +167,7 @@ func RunExp2(o Options) *Table {
 		}
 
 		t0 := time.Now()
-		fr := must(rsvd.FRPCA(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed}))
+		fr := must(rsvd.FRPCA(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed, Workers: o.Workers}))
 		report("FRPCA", fr, time.Since(t0))
 
 		t0 = time.Now()
@@ -209,7 +209,7 @@ func RunFig5Scale(o Options) *Table {
 		tTree := time.Since(t0)
 
 		t0 = time.Now()
-		must(rsvd.FRPCA(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed}))
+		must(rsvd.FRPCA(csr, rsvd.Options{Rank: o.Dim, Seed: o.Seed, Workers: o.Workers}))
 		tF := time.Since(t0)
 		t.AddRow(fmt.Sprint(prof.Nodes), fmt.Sprint(csr.NNZ()), dur(tTree), dur(tF),
 			fmt.Sprintf("%.1fx", tF.Seconds()/tTree.Seconds()))

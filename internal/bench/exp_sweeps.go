@@ -28,7 +28,7 @@ func RunFig11(o Options) *Table {
 		csr := prox.M.ToCSR()
 		for _, b := range []int{16, 64, 256} {
 			t0 := time.Now()
-			hr := hsvd.Factorize(csr, hsvd.Config{Rank: o.Dim, Blocks: b, Branch: 8})
+			hr := hsvd.Factorize(csr, hsvd.Config{Rank: o.Dim, Blocks: b, Branch: 8, Workers: o.Workers})
 			hTime := time.Since(t0)
 			hF1 := o.classify(hr.USqrtS(), labels, cls, o.TrainRatio)
 

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/par"
 	"github.com/tree-svd/treesvd/internal/rsvd"
 	"github.com/tree-svd/treesvd/internal/sparse"
 )
@@ -12,18 +14,25 @@ import (
 // rectangular sparse matrix — the paper notes the scheme is not limited to
 // subset embedding and speeds up SVD for any c×n matrix with c ≪ n. It
 // returns the root truncated SVD (U_{q,1})_d, (Σ_{q,1})_d.
+//
+// cfg.Workers is split like the dynamic tree's: level-1 blocks factor
+// concurrently with the leftover budget inside each block's kernels, and
+// the merge sweep narrows toward a root SVD that runs with the full
+// budget.
 func Factorize(m *sparse.CSR, cfg Config) (*linalg.SVDResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	w := par.Workers(cfg.Workers)
 	nb := cfg.Blocks()
 	if nb > m.Cols {
 		nb = m.Cols
 	}
 	width := (m.Cols + nb - 1) / nb
 	nb = (m.Cols + width - 1) / width
-	level := make([]*linalg.Dense, 0, nb)
-	for j := 0; j < nb; j++ {
+	level := make([]*linalg.Dense, nb)
+	kb := splitBudget(w, nb)
+	if err := par.ForErr(context.Background(), nb, w, func(j int) error {
 		lo := j * width
 		hi := lo + width
 		if hi > m.Cols {
@@ -35,6 +44,7 @@ func Factorize(m *sparse.CSR, cfg Config) (*linalg.SVDResult, error) {
 			Oversample: cfg.Oversample,
 			PowerIters: cfg.PowerIters,
 			Seed:       cfg.Seed + int64(j)*1_000_003,
+			Workers:    kb,
 		}
 		var res *linalg.SVDResult
 		var err error
@@ -44,26 +54,37 @@ func Factorize(m *sparse.CSR, cfg Config) (*linalg.SVDResult, error) {
 			res, err = rsvd.Sparse(blk, opts)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		level = append(level, res.US())
+		level[j] = res.US()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for len(level) > 1 {
-		var next []*linalg.Dense
-		for lo := 0; lo < len(level); lo += cfg.Branch {
+		parents := (len(level) + cfg.Branch - 1) / cfg.Branch
+		mb := splitBudget(w, parents)
+		next := make([]*linalg.Dense, parents)
+		var rootRes *linalg.SVDResult
+		par.For(parents, w, func(pi int) {
+			lo := pi * cfg.Branch
 			hi := lo + cfg.Branch
 			if hi > len(level) {
 				hi = len(level)
 			}
-			res := linalg.SVDTrunc(linalg.HCat(level[lo:hi]...), cfg.Rank)
-			if len(level) <= cfg.Branch {
-				return res, nil
+			res := linalg.SVDTruncW(linalg.HCat(level[lo:hi]...), cfg.Rank, mb)
+			if parents == 1 {
+				rootRes = res
+			} else {
+				next[pi] = res.US()
 			}
-			next = append(next, res.US())
+		})
+		if parents == 1 {
+			return rootRes, nil
 		}
 		level = next
 	}
-	return linalg.SVDTrunc(level[0], cfg.Rank), nil
+	return linalg.SVDTruncW(level[0], cfg.Rank, w), nil
 }
 
 // Embedding runs Factorize and returns X = U√Σ.
@@ -78,7 +99,13 @@ func Embedding(m *sparse.CSR, cfg Config) (*linalg.Dense, error) {
 // RightEmbeddingOf recovers Y = Ṽ√Σ (Ṽ = Σ⁻¹UᵀM, rows indexed by the n
 // matrix columns) for an externally held root SVD over matrix m.
 func RightEmbeddingOf(root *linalg.SVDResult, m *sparse.CSR) *linalg.Dense {
-	y := m.TMulDense(root.U)
+	return RightEmbeddingOfW(root, m, 1)
+}
+
+// RightEmbeddingOfW is RightEmbeddingOf with a worker budget for the
+// O(nnz·d) sparse transpose-product.
+func RightEmbeddingOfW(root *linalg.SVDResult, m *sparse.CSR, workers int) *linalg.Dense {
+	y := m.TMulDenseW(root.U, workers)
 	scale := make([]float64, len(root.S))
 	for i, s := range root.S {
 		if s > 0 {

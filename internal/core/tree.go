@@ -79,9 +79,13 @@ func (t *Tree) Stats() Stats { return t.stats }
 func (t *Tree) Built() bool { return t.built }
 
 // factorBlock runs the level-1 sparse randomized SVD on block j and
-// returns a fresh cache entry. It does not touch the tree or the DynRow
-// baseline — commits happen only after a whole Build/Update succeeds.
-func (t *Tree) factorBlock(j int) (*blockCache, error) {
+// returns a fresh cache entry. kernelWorkers is the worker budget handed
+// to the linear-algebra kernels inside the factorization (see
+// splitBudget); the randomized draw — and hence the result — depends only
+// on the seed, never on the budget. It does not touch the tree or the
+// DynRow baseline — commits happen only after a whole Build/Update
+// succeeds.
+func (t *Tree) factorBlock(j, kernelWorkers int) (*blockCache, error) {
 	blk := t.m.BlockCSR(j)
 	frob := blk.FrobNorm()
 	opts := rsvd.Options{
@@ -89,6 +93,7 @@ func (t *Tree) factorBlock(j int) (*blockCache, error) {
 		Oversample: t.cfg.Oversample,
 		PowerIters: t.cfg.PowerIters,
 		Seed:       t.cfg.Seed + int64(j)*1_000_003 + t.seq*7_777_777,
+		Workers:    kernelWorkers,
 	}
 	var res *linalg.SVDResult
 	var err error
@@ -103,12 +108,15 @@ func (t *Tree) factorBlock(j int) (*blockCache, error) {
 	return &blockCache{us: res.US(), tail: res.TailEnergy(frob, t.cfg.Rank)}, nil
 }
 
-// workers resolves the configured worker count.
-func (t *Tree) workers() int {
-	if t.cfg.Workers <= 1 {
-		return 1
+// splitBudget divides the tree's worker budget across tasks concurrent
+// tasks so fan-out parallelism and kernel parallelism compose instead of
+// oversubscribing: with many level-1 blocks each factorization runs its
+// kernels serially, while a root merge (one task) gets the whole budget.
+func splitBudget(w, tasks int) int {
+	if tasks < 1 {
+		tasks = 1
 	}
-	return t.cfg.Workers
+	return max(1, w/tasks)
 }
 
 // Build runs the full static Tree-SVD (Algorithm 3) over the current
@@ -116,9 +124,11 @@ func (t *Tree) workers() int {
 // Cancelling ctx aborts the pass without touching the committed state.
 func (t *Tree) Build(ctx context.Context) error {
 	t.seq++
+	w := par.Workers(t.cfg.Workers)
 	fresh := make([]*blockCache, len(t.level1))
-	if err := par.ForErr(ctx, len(fresh), t.workers(), func(j int) error {
-		c, err := t.factorBlock(j)
+	kb := splitBudget(w, len(fresh))
+	if err := par.ForErr(ctx, len(fresh), w, func(j int) error {
+		c, err := t.factorBlock(j, kb)
 		if err != nil {
 			return err
 		}
@@ -184,9 +194,11 @@ func (t *Tree) Update(ctx context.Context) (int, error) {
 		t.stats = Stats{Skipped: skipped}
 		return 0, nil // every block within tolerance: cached embedding stands
 	}
+	w := par.Workers(t.cfg.Workers)
 	fresh := append([]*blockCache(nil), t.level1...)
-	if err := par.ForErr(ctx, len(z), t.workers(), func(i int) error {
-		c, err := t.factorBlock(z[i])
+	kb := splitBudget(w, len(z))
+	if err := par.ForErr(ctx, len(z), w, func(i int) error {
+		c, err := t.factorBlock(z[i], kb)
 		if err != nil {
 			return err
 		}
@@ -240,10 +252,11 @@ func (t *Tree) levelCounts() []int {
 // previous caches. The tree itself is not modified — the caller commits
 // the returned structures only when the whole pass succeeded.
 func (t *Tree) merge(ctx context.Context, level1 []*blockCache, dirty map[int]bool) ([][]*linalg.Dense, *linalg.SVDResult, int, error) {
+	w := par.Workers(t.cfg.Workers)
 	counts := t.levelCounts()
 	if len(counts) == 1 {
 		// Single level-1 block: its truncated SVD is the root.
-		return nil, linalg.SVDTrunc(level1[0].us, t.cfg.Rank), 1, nil
+		return nil, linalg.SVDTruncW(level1[0].us, t.cfg.Rank, w), 1, nil
 	}
 	// Fresh upper cache: one slice per intermediate level (2..q-1), seeded
 	// with the previous pass's results where present.
@@ -274,7 +287,12 @@ func (t *Tree) merge(ctx context.Context, level1 []*blockCache, dirty map[int]bo
 		}
 		sort.Ints(parents)
 		isRootLevel := counts[cl+1] == 1
-		if err := par.ForErr(ctx, len(parents), t.workers(), func(pi int) error {
+		// Fan-out across dirty parents; each merge's kernels get the
+		// leftover budget (the root level has one parent, so its exact SVD
+		// runs with the full budget — it is the serial bottleneck of every
+		// update pass).
+		kb := splitBudget(w, len(parents))
+		if err := par.ForErr(ctx, len(parents), w, func(pi int) error {
 			pj := parents[pi]
 			lo := pj * k
 			hi := lo + k
@@ -282,10 +300,20 @@ func (t *Tree) merge(ctx context.Context, level1 []*blockCache, dirty map[int]bo
 				hi = counts[cl]
 			}
 			children := make([]*linalg.Dense, 0, hi-lo)
+			cols := 0
 			for j := lo; j < hi; j++ {
-				children = append(children, childUS(cl, j))
+				c := childUS(cl, j)
+				children = append(children, c)
+				cols += c.Cols
 			}
-			res := linalg.SVDTrunc(linalg.HCat(children...), t.cfg.Rank)
+			// The |S|×(k·d) concat is pooled scratch: SVDTruncW's results
+			// never alias its input, so the buffer is recycled as soon as
+			// the merge SVD returns instead of being reallocated for every
+			// parent of every update pass.
+			cc := linalg.GetDense(children[0].Rows, cols)
+			linalg.HCatInto(cc, children...)
+			res := linalg.SVDTruncW(cc, t.cfg.Rank, kb)
+			linalg.PutDense(cc)
 			if isRootLevel {
 				root = res // exactly one root-level parent: no write race
 			} else {
@@ -313,7 +341,7 @@ func (t *Tree) ForceRebuildBlock(ctx context.Context, j int) (int, error) {
 		return t.stats.Level1Rebuilt, nil
 	}
 	t.seq++
-	c, err := t.factorBlock(j)
+	c, err := t.factorBlock(j, par.Workers(t.cfg.Workers))
 	if err != nil {
 		return 0, err
 	}
@@ -349,7 +377,7 @@ func (t *Tree) Embedding() *linalg.Dense {
 // Ṽ_d = Σ⁻¹·Uᵀ·M_S (Theorem 3.2), i.e. Yᵀ rows are indexed by graph
 // nodes. Net per-column scaling is 1/√σ, computed in one sparse pass.
 func (t *Tree) RightEmbedding() *linalg.Dense {
-	return RightEmbeddingOf(t.Root(), t.m.ToCSR())
+	return RightEmbeddingOfW(t.Root(), t.m.ToCSR(), par.Workers(t.cfg.Workers))
 }
 
 // Matrix exposes the underlying proximity DynRow.
@@ -357,16 +385,18 @@ func (t *Tree) Matrix() *sparse.DynRow { return t.m }
 
 // ReconstructionError returns ‖U·Σ·Ṽ − M‖_F with Ṽ = Σ⁻¹UᵀM, the
 // observable counterpart of the Theorem 3.2 guarantee (tests and
-// diagnostics; materializes a d×n dense intermediate).
+// diagnostics; materializes an n×d dense intermediate). ‖M‖_F comes from
+// DynRow's incrementally maintained block norms (O(nblocks)), and Mᵀ·U is
+// read straight off the live row maps — no CSR materialization, so the
+// whole routine is one O(nnz·d) pass.
 func (t *Tree) ReconstructionError() float64 {
 	root := t.Root()
-	if root.Rank() == 0 {
-		return t.m.FrobNorm()
-	}
-	csr := t.m.ToCSR()
-	vt := csr.TMulDense(root.U) // n×d = Mᵀ·U
-	// ‖M − U·Uᵀ·M‖²_F = ‖M‖²_F − ‖Uᵀ·M‖²_F (projection identity).
 	f := t.m.FrobNorm()
+	if root.Rank() == 0 {
+		return f
+	}
+	vt := t.m.TMulDense(root.U) // n×d = Mᵀ·U
+	// ‖M − U·Uᵀ·M‖²_F = ‖M‖²_F − ‖Uᵀ·M‖²_F (projection identity).
 	proj := vt.FrobNorm()
 	diff := f*f - proj*proj
 	if diff < 0 {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/par"
 	"github.com/tree-svd/treesvd/internal/sparse"
 )
 
@@ -23,6 +24,9 @@ type Config struct {
 	Blocks int
 	// Branch is the merge fan-in k; b/k blocks remain after each level.
 	Branch int
+	// Workers is the worker budget (0 or 1 = sequential), split across the
+	// level-1 blocks and the merge sweep exactly like core.Factorize's.
+	Workers int
 }
 
 // Validate reports whether the configuration is usable.
@@ -53,17 +57,18 @@ func Factorize(m *sparse.CSR, cfg Config) *linalg.SVDResult {
 	width := (m.Cols + nb - 1) / nb
 	nb = (m.Cols + width - 1) / width
 	// Level 1: exact truncated SVD per column block.
-	level := make([]*linalg.Dense, 0, nb)
-	for j := 0; j < nb; j++ {
+	w := par.Workers(cfg.Workers)
+	kb := splitBudget(w, nb)
+	level := make([]*linalg.Dense, nb)
+	par.For(nb, w, func(j int) {
 		lo := j * width
 		hi := lo + width
 		if hi > m.Cols {
 			hi = m.Cols
 		}
 		blk := m.SliceColsCSR(lo, hi).ToDense()
-		res := linalg.SVDTrunc(blk, cfg.Rank)
-		level = append(level, res.US())
-	}
+		level[j] = linalg.SVDTruncW(blk, cfg.Rank, kb).US()
+	})
 	return mergeLevels(level, cfg)
 }
 
@@ -78,40 +83,56 @@ func FactorizeDense(m *linalg.Dense, cfg Config) *linalg.SVDResult {
 	}
 	width := (m.Cols + nb - 1) / nb
 	nb = (m.Cols + width - 1) / width
-	level := make([]*linalg.Dense, 0, nb)
-	for j := 0; j < nb; j++ {
+	w := par.Workers(cfg.Workers)
+	kb := splitBudget(w, nb)
+	level := make([]*linalg.Dense, nb)
+	par.For(nb, w, func(j int) {
 		lo := j * width
 		hi := lo + width
 		if hi > m.Cols {
 			hi = m.Cols
 		}
-		res := linalg.SVDTrunc(m.SliceCols(lo, hi), cfg.Rank)
-		level = append(level, res.US())
-	}
+		level[j] = linalg.SVDTruncW(m.SliceCols(lo, hi), cfg.Rank, kb).US()
+	})
 	return mergeLevels(level, cfg)
+}
+
+// splitBudget divides the worker budget across concurrent tasks (same
+// discipline as core's: fan-out workers × kernel workers ≈ budget).
+func splitBudget(w, tasks int) int {
+	if tasks < 1 {
+		tasks = 1
+	}
+	return max(1, w/tasks)
 }
 
 // mergeLevels repeatedly concatenates groups of k compressed blocks and
 // re-factors them until one matrix remains, returning its truncated SVD.
+// Each level's merges fan out across the worker budget; the final merge is
+// a single task and runs its SVD with the whole budget.
 func mergeLevels(level []*linalg.Dense, cfg Config) *linalg.SVDResult {
+	w := par.Workers(cfg.Workers)
 	for len(level) > 1 {
-		var next []*linalg.Dense
-		for lo := 0; lo < len(level); lo += cfg.Branch {
-			hi := lo + cfg.Branch
-			if hi > len(level) {
-				hi = len(level)
-			}
-			merged := linalg.HCat(level[lo:hi]...)
-			if len(level) <= cfg.Branch {
-				// Final merge: return the full truncated result.
-				return linalg.SVDTrunc(merged, cfg.Rank)
-			}
-			next = append(next, linalg.SVDTrunc(merged, cfg.Rank).US())
+		parents := (len(level) + cfg.Branch - 1) / cfg.Branch
+		mb := splitBudget(w, parents)
+		if parents == 1 {
+			// Final merge: return the full truncated result.
+			return linalg.SVDTruncW(linalg.HCat(level...), cfg.Rank, w)
 		}
+		next := make([]*linalg.Dense, parents)
+		lv := level
+		par.For(parents, w, func(pi int) {
+			lo := pi * cfg.Branch
+			hi := lo + cfg.Branch
+			if hi > len(lv) {
+				hi = len(lv)
+			}
+			next[pi] = linalg.SVDTruncW(linalg.HCat(lv[lo:hi]...), cfg.Rank, mb).US()
+		})
 		level = next
 	}
 	// Single block: its SVD is the answer.
-	return linalg.SVDTrunc(level[0], cfg.Rank)
+	return linalg.SVDTruncW(level[0], cfg.Rank, w)
 }
 
 // Embedding runs Factorize and applies the X = U√Σ convention.

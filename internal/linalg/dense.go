@@ -4,10 +4,12 @@
 // truncated SVD (via the Gram matrix of the smaller side, with a one-sided
 // Jacobi SVD available for cross-validation).
 //
-// The package is self-contained (stdlib only) and deliberately small: the
-// matrices factored exactly by Tree-SVD are |S|×(k·d) with |S| in the low
-// thousands and k·d around one thousand, so simple O(n³) kernels with good
-// constants are sufficient and easy to verify.
+// The package depends only on the stdlib and the internal/par worker
+// primitives. The matrices factored exactly by Tree-SVD are |S|×(k·d)
+// with |S| in the low thousands and k·d around one thousand, so O(n³)
+// kernels with good constants are sufficient — the kernels in kernels.go
+// are cache-blocked, unrolled for instruction-level parallelism, and
+// accept an optional worker budget (see the W-suffixed variants).
 package linalg
 
 import (
@@ -65,113 +67,9 @@ func (m *Dense) T() *Dense {
 	return out
 }
 
-// Mul returns a*b.
-func Mul(a, b *Dense) *Dense {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("linalg: Mul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := NewDense(a.Rows, b.Cols)
-	// ikj loop order: stream through b's rows, good cache behaviour.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
-}
-
-// MulT returns a*bᵀ.
-func MulT(a, b *Dense) *Dense {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("linalg: MulT shape mismatch %d×%d · (%d×%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := NewDense(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
-		}
-	}
-	return out
-}
-
-// TMul returns aᵀ*b.
-func TMul(a, b *Dense) *Dense {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("linalg: TMul shape mismatch (%d×%d)ᵀ · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := NewDense(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
-}
-
-// Gram returns aᵀ*a, exploiting symmetry.
-func Gram(a *Dense) *Dense {
-	n := a.Cols
-	out := NewDense(n, n)
-	for k := 0; k < a.Rows; k++ {
-		row := a.Row(k)
-		for i, vi := range row {
-			if vi == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j := i; j < n; j++ {
-				orow[j] += vi * row[j]
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			out.Data[j*n+i] = out.Data[i*n+j]
-		}
-	}
-	return out
-}
-
-// GramT returns a*aᵀ, exploiting symmetry.
-func GramT(a *Dense) *Dense {
-	n := a.Rows
-	out := NewDense(n, n)
-	for i := 0; i < n; i++ {
-		ri := a.Row(i)
-		for j := i; j < n; j++ {
-			v := Dot(ri, a.Row(j))
-			out.Data[i*n+j] = v
-			out.Data[j*n+i] = v
-		}
-	}
-	return out
-}
-
-// Dot returns the inner product of equal-length vectors.
-func Dot(a, b []float64) float64 {
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
+// shapeErr formats the panic message for a dimension mismatch.
+func shapeErr(op string, ar, ac, br, bc int) string {
+	return fmt.Sprintf("linalg: %s shape mismatch %d×%d · %d×%d", op, ar, ac, br, bc)
 }
 
 // Norm2 returns the Euclidean norm of v.
@@ -255,6 +153,33 @@ func HCat(ms ...*Dense) *Dense {
 		}
 	}
 	return out
+}
+
+// HCatInto horizontally concatenates the given matrices into dst, whose
+// shape must already match (same Rows, Cols = Σ ms[i].Cols). It is the
+// allocation-free sibling of HCat used by the tree merges, which reuse
+// one pooled concat buffer per parent instead of allocating a fresh
+// |S|×(k·d) matrix on every update. Returns dst.
+func HCatInto(dst *Dense, ms ...*Dense) *Dense {
+	c := 0
+	for _, m := range ms {
+		if m.Rows != dst.Rows {
+			panic(fmt.Sprintf("linalg: HCatInto row mismatch %d vs %d", m.Rows, dst.Rows))
+		}
+		c += m.Cols
+	}
+	if c != dst.Cols {
+		panic(fmt.Sprintf("linalg: HCatInto column mismatch %d vs dst %d", c, dst.Cols))
+	}
+	for i := 0; i < dst.Rows; i++ {
+		orow := dst.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(orow[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return dst
 }
 
 // SliceCols returns the column range [lo,hi) as a new matrix.

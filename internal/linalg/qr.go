@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"github.com/tree-svd/treesvd/internal/par"
 )
 
 // qrDeflationTol is the relative column-norm floor below which QRThin
@@ -12,11 +14,18 @@ const qrDeflationTol = 1e-13
 // QRThin computes the thin QR factorization A = Q·R of an m×n matrix with
 // m ≥ n using Householder reflections. Q is m×n with orthonormal columns
 // and R is n×n upper triangular.
+func QRThin(a *Dense) (q, r *Dense) { return QRThinW(a, 1) }
+
+// QRThinW is QRThin with a worker budget. The working matrix is held
+// transposed so that every Householder vector and every column it touches
+// is a contiguous slice — the inner loops are pure []float64 traversals.
 //
-// The working matrix is held transposed so that every Householder vector
-// and every column it touches is a contiguous slice — the inner loops are
-// pure []float64 traversals.
-func QRThin(a *Dense) (q, r *Dense) {
+// The two O(m·n) passes per reflector — applying it to the trailing
+// columns and, later, accumulating Q — write one working-matrix row per
+// column index and read only the reflector (frozen before the pass), so
+// both fan out over column panels; results are identical for every
+// worker count. The reflector construction itself is a serial O(m) scan.
+func QRThinW(a *Dense, workers int) (q, r *Dense) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("linalg: QRThin requires rows ≥ cols, got %d×%d", m, n))
@@ -29,6 +38,25 @@ func QRThin(a *Dense) (q, r *Dense) {
 	// inputs such junk reflectors amplify noise exponentially across
 	// steps. The column is zeroed instead (R gets an exact zero).
 	floor := qrDeflationTol * Norm2(a.Data)
+	// The reflector-application closure is hoisted out of the step loop and
+	// parameterized through the c* locals (one escaping closure per
+	// factorization instead of one per reflector); tgt switches between the
+	// trailing-column pass and the Q-accumulation pass.
+	var (
+		tgt      *Dense
+		ck, coff int
+		cbeta    float64
+		cvk      float64
+		ctail    []float64
+	)
+	applyReflector := func(jlo, jhi int) {
+		for j := coff + jlo; j < coff+jhi; j++ {
+			cj := tgt.Row(j)
+			dot := cbeta * (cvk*cj[ck] + Dot(ctail, cj[ck+1:]))
+			cj[ck] -= dot * cvk
+			axpy(cj[ck+1:], -dot, ctail)
+		}
+	}
 	for k := 0; k < n; k++ {
 		col := wt.Row(k)
 		var norm float64
@@ -58,20 +86,9 @@ func QRThin(a *Dense) (q, r *Dense) {
 		}
 		beta := 2 / vtv
 		betas[k] = beta
-		tail := col[k+1:]
-		for j := k + 1; j < n; j++ {
-			cj := wt.Row(j)
-			dot := v0[k] * cj[k]
-			cjTail := cj[k+1:]
-			for i, vv := range tail {
-				dot += vv * cjTail[i]
-			}
-			dot *= beta
-			cj[k] -= dot * v0[k]
-			for i, vv := range tail {
-				cjTail[i] -= dot * vv
-			}
-		}
+		tgt, ck, coff, cbeta, cvk, ctail = wt, k, k+1, beta, v0[k], col[k+1:]
+		pw := kernelWorkers(workers, n-k-1, 2*(n-k-1)*(m-k))
+		par.ForChunks(n-k-1, pw, applyReflector)
 	}
 	r = NewDense(n, n)
 	for i := 0; i < n; i++ {
@@ -91,20 +108,9 @@ func QRThin(a *Dense) (q, r *Dense) {
 		if beta == 0 {
 			continue
 		}
-		tail := wt.Row(k)[k+1:]
-		for j := 0; j < n; j++ {
-			cj := qt.Row(j)
-			dot := v0[k] * cj[k]
-			cjTail := cj[k+1:]
-			for i, vv := range tail {
-				dot += vv * cjTail[i]
-			}
-			dot *= beta
-			cj[k] -= dot * v0[k]
-			for i, vv := range tail {
-				cjTail[i] -= dot * vv
-			}
-		}
+		tgt, ck, coff, cbeta, cvk, ctail = qt, k, 0, beta, v0[k], wt.Row(k)[k+1:]
+		pw := kernelWorkers(workers, n, 2*n*(m-k))
+		par.ForChunks(n, pw, applyReflector)
 	}
 	return qt.T(), r
 }
@@ -112,8 +118,11 @@ func QRThin(a *Dense) (q, r *Dense) {
 // Orthonormalize replaces the columns of a with an orthonormal basis of
 // their span (the Q factor of a thin QR) and returns a. It is the
 // re-orthonormalization step of randomized subspace iteration.
-func Orthonormalize(a *Dense) *Dense {
-	q, _ := QRThin(a)
+func Orthonormalize(a *Dense) *Dense { return OrthonormalizeW(a, 1) }
+
+// OrthonormalizeW is Orthonormalize with a worker budget.
+func OrthonormalizeW(a *Dense, workers int) *Dense {
+	q, _ := QRThinW(a, workers)
 	copy(a.Data, q.Data)
 	return a
 }

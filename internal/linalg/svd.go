@@ -84,7 +84,13 @@ const svdRankTol = 1e-13
 // below √ε·σ₁ carry no embedding signal); JacobiSVD provides a slower
 // one-sided route used to cross-validate in tests.
 func SVD(a *Dense) *SVDResult {
-	return svdLimited(a, -1)
+	return svdLimited(a, -1, 1)
+}
+
+// SVDW is SVD with a worker budget for the Gram product, the eigensolve
+// and the singular-vector recovery.
+func SVDW(a *Dense, workers int) *SVDResult {
+	return svdLimited(a, -1, workers)
 }
 
 // SVDTrunc computes the top-d thin SVD. The full eigensystem of the Gram
@@ -92,18 +98,28 @@ func SVD(a *Dense) *SVDResult {
 // vectors of the larger side are recovered, which dominates the cost for
 // d ≪ min(rows, cols).
 func SVDTrunc(a *Dense, d int) *SVDResult {
-	return svdLimited(a, d)
+	return svdLimited(a, d, 1)
+}
+
+// SVDTruncW is SVDTrunc with a worker budget.
+func SVDTruncW(a *Dense, d, workers int) *SVDResult {
+	return svdLimited(a, d, workers)
 }
 
 // svdLimited is the shared Gram-route implementation; maxRank < 0 keeps
-// every numerically non-zero triplet.
-func svdLimited(a *Dense, maxRank int) *SVDResult {
+// every numerically non-zero triplet. The Gram matrix is pooled scratch:
+// SymEigW clones it internally, so it is released before the routine
+// returns and every tree merge reuses the same storage.
+func svdLimited(a *Dense, maxRank, workers int) *SVDResult {
 	m, n := a.Rows, a.Cols
 	if m == 0 || n == 0 {
 		return &SVDResult{U: NewDense(m, 0), S: nil, V: NewDense(n, 0)}
 	}
 	if n <= m {
-		lambda, v := SymEig(Gram(a))
+		g := GetDense(n, n)
+		gramInto(g, a, workers)
+		lambda, v := SymEigW(g, workers)
+		PutDense(g)
 		s, rank := sigmaFromLambda(lambda)
 		if maxRank >= 0 && rank > maxRank {
 			rank = maxRank
@@ -111,11 +127,14 @@ func svdLimited(a *Dense, maxRank int) *SVDResult {
 		}
 		vk := v.SliceCols(0, rank)
 		// U = A·V·Σ⁻¹
-		u := Mul(a, vk)
+		u := MulW(a, vk, workers)
 		invScaleCols(u, s)
 		return &SVDResult{U: u, S: s, V: vk}
 	}
-	lambda, u := SymEig(GramT(a))
+	g := GetDense(m, m)
+	gramTInto(g, a, workers)
+	lambda, u := SymEigW(g, workers)
+	PutDense(g)
 	s, rank := sigmaFromLambda(lambda)
 	if maxRank >= 0 && rank > maxRank {
 		rank = maxRank
@@ -123,7 +142,7 @@ func svdLimited(a *Dense, maxRank int) *SVDResult {
 	}
 	uk := u.SliceCols(0, rank)
 	// V = Aᵀ·U·Σ⁻¹
-	v := TMul(a, uk)
+	v := TMulW(a, uk, workers)
 	invScaleCols(v, s)
 	return &SVDResult{U: uk, S: s, V: v}
 }

@@ -3,19 +3,28 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"github.com/tree-svd/treesvd/internal/par"
 )
 
 // SymEig computes the full eigendecomposition A = V·diag(λ)·Vᵀ of a
 // symmetric matrix. Eigenvalues are returned in descending order with
 // matching eigenvector columns in V.
+func SymEig(a *Dense) (lambda []float64, v *Dense) { return SymEigW(a, 1) }
+
+// SymEigW is SymEig with a worker budget for the O(n²)-per-step inner
+// loops. The implementation is the classic two-stage dense symmetric
+// solver: Householder reduction to tridiagonal form (tred2) followed by
+// the implicit-shift QL iteration (tql2), both accumulating the
+// orthogonal transform. The parallelized loops (the rank-2 update and
+// transform accumulation of tred2, the rotation application of tql2)
+// partition disjoint output rows or columns with a fixed per-element
+// operation order, so the result is identical for every worker count.
 //
-// The implementation is the classic two-stage dense symmetric solver:
-// Householder reduction to tridiagonal form (tred2) followed by the
-// implicit-shift QL iteration (tql2), both accumulating the orthogonal
-// transform. It is O(n³) with a small constant — an order of magnitude
-// faster than the cyclic Jacobi method kept in JacobiSymEig, which tests
-// use as an independent cross-check.
-func SymEig(a *Dense) (lambda []float64, v *Dense) {
+// It is O(n³) with a small constant — an order of magnitude faster than
+// the cyclic Jacobi method kept in JacobiSymEig, which tests use as an
+// independent cross-check.
+func SymEigW(a *Dense, workers int) (lambda []float64, v *Dense) {
 	n := a.Rows
 	if a.Cols != n {
 		panic(fmt.Sprintf("linalg: SymEig requires a square matrix, got %d×%d", n, a.Cols))
@@ -30,8 +39,8 @@ func SymEig(a *Dense) (lambda []float64, v *Dense) {
 	vt := a.Clone()
 	d := make([]float64, n)
 	e := make([]float64, n)
-	tred2(vt, d, e)
-	tql2(vt, d, e)
+	tred2(vt, d, e, workers)
+	tql2(vt, d, e, workers)
 	v = vt.T()
 	sortEig(d, v)
 	return d, v
@@ -42,9 +51,41 @@ func SymEig(a *Dense) (lambda []float64, v *Dense) {
 // is transform column j), d with the diagonal and e with the subdiagonal
 // (e[0] unused). The textbook V[a][b] maps to zt.Row(b)[a], which makes
 // every inner loop a contiguous slice walk.
-func tred2(zt *Dense, d, e []float64) {
+//
+// The two O(l²) passes per step — the symmetric rank-2 update and the
+// transform accumulation — touch one zt row per j index and read only
+// shared state written before the pass, so they fan out over j-panels;
+// the deferred d[j] writes keep the parallel schedule identical to the
+// serial one. The symmetric matrix-vector product stays serial: it
+// accumulates into e across j, and only the upper triangle of the active
+// submatrix is valid, so splitting it would need per-worker reduction
+// buffers for a loop that is at most a third of the step.
+func tred2(zt *Dense, d, e []float64, workers int) {
 	n := zt.Rows
 	copy(d, zt.Row(n-1)) // symmetric input: row n-1 == column n-1
+	// The parallel pass closures are hoisted out of the O(n) step loops and
+	// parameterized through ci/cl (the current step's i and l): a closure
+	// literal passed to ForChunks escapes, and allocating one per step
+	// would dominate the allocation profile of every small eigensolve.
+	var ci, cl int
+	rank2 := func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			fj, gj := d[j], e[j]
+			rowJ := zt.Row(j)
+			for k := j; k <= cl; k++ {
+				rowJ[k] -= fj*e[k] + gj*d[k]
+			}
+			rowJ[ci] = 0
+		}
+	}
+	accumulate := func(jlo, jhi int) {
+		rowL := zt.Row(cl)
+		for j := jlo; j < jhi; j++ {
+			rowJ := zt.Row(j)[:cl]
+			g := Dot(rowL[:cl], rowJ)
+			axpy(rowJ, -g, d[:cl])
+		}
+	}
 	for i := n - 1; i > 0; i-- {
 		l := i - 1
 		var h, scale float64
@@ -96,15 +137,14 @@ func tred2(zt *Dense, d, e []float64) {
 			for j := 0; j <= l; j++ {
 				e[j] -= hh * d[j]
 			}
+			// Rank-2 update A ← A − v·wᵀ − w·vᵀ on the upper triangle.
+			// Every task reads d/e (frozen for the pass) and writes only
+			// its own rows; d[j] ← rowJ[l] is deferred past the barrier so
+			// no task observes another's update.
+			ci, cl = i, l
+			par.ForChunks(l+1, kernelWorkers(workers, l+1, (l+1)*(l+1)/2), rank2)
 			for j := 0; j <= l; j++ {
-				f = d[j]
-				g = e[j]
-				rowJ := zt.Row(j)
-				for k := j; k <= l; k++ {
-					rowJ[k] -= f*e[k] + g*d[k]
-				}
-				d[j] = rowJ[l]
-				rowJ[i] = 0
+				d[j] = zt.Row(j)[l]
 			}
 		}
 		d[i] = h
@@ -120,16 +160,8 @@ func tred2(zt *Dense, d, e []float64) {
 			for k := 0; k < l; k++ {
 				d[k] = rowL[k] / d[l]
 			}
-			for j := 0; j < l; j++ {
-				rowJ := zt.Row(j)
-				var g float64
-				for k := 0; k < l; k++ {
-					g += rowL[k] * rowJ[k]
-				}
-				for k := 0; k < l; k++ {
-					rowJ[k] -= g * d[k]
-				}
-			}
+			cl = l
+			par.ForChunks(l, kernelWorkers(workers, l, l*l), accumulate)
 		}
 		for k := 0; k < l; k++ {
 			rowL[k] = 0
@@ -150,12 +182,35 @@ func tred2(zt *Dense, d, e []float64) {
 // routine is a port of the EISPACK/JAMA tql2, whose shift strategy and
 // global deflation test are robust to the clustered and near-zero
 // eigenvalues that Gram matrices of nearly low-rank blocks produce.
-func tql2(zt *Dense, d, e []float64) {
+//
+// The scalar rotation recurrence is inherently serial but O(m−l); the
+// O((m−l)·n) application of the rotation chain to the eigenvector rows —
+// the dominant cost of the whole eigensolve — is replayed per column
+// chunk, every chunk applying the chain in the same order, so it fans
+// out across the worker budget with a bit-identical result.
+func tql2(zt *Dense, d, e []float64, workers int) {
 	n := zt.Rows
 	for i := 1; i < n; i++ {
 		e[i-1] = e[i]
 	}
 	e[n-1] = 0
+	cs := make([]float64, n)
+	sn := make([]float64, n)
+	// Hoisted out of the QL iteration (see the matching comment in tred2):
+	// replays the rotation chain recorded in cs/sn for rows cl..cm-1 on one
+	// column chunk of the eigenvector matrix.
+	var cm, cll int
+	replay := func(klo, khi int) {
+		for i := cm - 1; i >= cll; i-- {
+			ri, ri1 := zt.Row(i), zt.Row(i+1)
+			ci, si := cs[i], sn[i]
+			for k := klo; k < khi; k++ {
+				h := ri1[k]
+				ri1[k] = si*ri[k] + ci*h
+				ri[k] = ci*ri[k] - si*h
+			}
+		}
+	}
 	const eps = 2.220446049250313e-16 // 2^-52
 	var f, tst1 float64
 	for l := 0; l < n; l++ {
@@ -189,7 +244,8 @@ func tql2(zt *Dense, d, e []float64) {
 					d[i] -= h
 				}
 				f += h
-				// Implicit QL transformation.
+				// Implicit QL transformation: run the scalar recurrence
+				// first, recording each plane rotation...
 				p = d[m]
 				c, c2, c3 := 1.0, 1.0, 1.0
 				el1 := e[l+1]
@@ -204,13 +260,12 @@ func tql2(zt *Dense, d, e []float64) {
 					c = p / r
 					p = c*d[i] - s*g
 					d[i+1] = h + s*(c*g+s*d[i])
-					ri, ri1 := zt.Row(i), zt.Row(i+1)
-					for k := 0; k < n; k++ {
-						h = ri1[k]
-						ri1[k] = s*ri[k] + c*h
-						ri[k] = c*ri[k] - s*h
-					}
+					cs[i], sn[i] = c, s
 				}
+				// ...then replay the chain on the eigenvector rows, split
+				// over column chunks.
+				cm, cll = m, l
+				par.ForChunks(n, kernelWorkers(workers, n, 6*(m-l)*n), replay)
 				p = -s * s2 * c3 * el1 * e[l] / dl1
 				e[l] = s * p
 				d[l] = c * p
@@ -226,11 +281,39 @@ func tql2(zt *Dense, d, e []float64) {
 
 // JacobiSymEig is the cyclic Jacobi eigensolver — slower than SymEig but
 // algorithmically independent; tests cross-validate the two.
-func JacobiSymEig(a *Dense) (lambda []float64, v *Dense) {
+func JacobiSymEig(a *Dense) (lambda []float64, v *Dense) { return JacobiSymEigW(a, 1) }
+
+// jacobiParMinN is the matrix size below which JacobiSymEigW ignores the
+// worker budget: a round's rotation phases are O(n²) and only amortize
+// goroutine dispatch for reasonably large n.
+const jacobiParMinN = 64
+
+// JacobiSymEigW is JacobiSymEig with a worker budget. With workers ≤ 1
+// (or tiny matrices) it runs the classic serial cyclic sweep. Otherwise
+// it switches to the round-robin ("chess tournament") pivot ordering:
+// each round pairs every index with a distinct partner, the ⌊n/2⌋
+// rotations of a round commute (their index pairs are disjoint), and the
+// rotation application — the entire O(n) cost of a pivot — fans out
+// across the worker budget in three barrier-separated phases (column
+// update, row update, eigenvector update). Angles are computed before
+// any application, which is equivalent to applying the round's rotations
+// serially in any order, so the parallel result is deterministic for a
+// fixed worker count.
+func JacobiSymEigW(a *Dense, workers int) (lambda []float64, v *Dense) {
 	n := a.Rows
 	if a.Cols != n {
 		panic(fmt.Sprintf("linalg: JacobiSymEig requires a square matrix, got %d×%d", n, a.Cols))
 	}
+	workers = par.Workers(workers)
+	if workers > 1 && n >= jacobiParMinN {
+		return jacobiSymEigRounds(a, workers)
+	}
+	return jacobiSymEigCyclic(a)
+}
+
+// jacobiSymEigCyclic is the historical serial implementation.
+func jacobiSymEigCyclic(a *Dense) (lambda []float64, v *Dense) {
+	n := a.Rows
 	w := a.Clone()
 	v = Identity(n)
 	if n == 0 {
@@ -286,6 +369,124 @@ func JacobiSymEig(a *Dense) (lambda []float64, v *Dense) {
 					v.Set(k, q, s*vkp+c*vkq)
 				}
 			}
+		}
+	}
+	lambda = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lambda[i] = w.At(i, i)
+	}
+	sortEig(lambda, v)
+	return lambda, v
+}
+
+// planeRot is one recorded Jacobi rotation of a tournament round.
+type planeRot struct {
+	p, q int
+	c, s float64
+}
+
+// jacobiSymEigRounds runs cyclic-by-rounds Jacobi: m−1 rounds of ⌊m/2⌋
+// disjoint pivot pairs per sweep (the circle-method tournament schedule),
+// with each round's rotations applied in three parallel phases.
+func jacobiSymEigRounds(a *Dense, workers int) (lambda []float64, v *Dense) {
+	n := a.Rows
+	w := a.Clone()
+	v = Identity(n)
+	total := w.FrobNorm()
+	if total == 0 {
+		return make([]float64, n), v
+	}
+	skipTol := symEigTol * total / float64(n*n)
+	// Circle-method schedule over m players (bye = m-1 when n is odd).
+	m := n
+	if m%2 == 1 {
+		m++
+	}
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	rots := make([]planeRot, 0, m/2)
+	for sweep := 0; sweep < symEigMaxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			row := w.Row(i)
+			for j := i + 1; j < n; j++ {
+				off += 2 * row[j] * row[j]
+			}
+		}
+		if math.Sqrt(off) <= symEigTol*total {
+			break
+		}
+		for round := 0; round < m-1; round++ {
+			// Phase 0: angles, from the pre-round matrix. Disjoint pairs
+			// never read each other's (p,p), (q,q), (p,q) entries, so the
+			// round equals a serial application of the same rotations.
+			rots = rots[:0]
+			for i := 0; i < m/2; i++ {
+				p, q := perm[i], perm[m-1-i]
+				if p >= n || q >= n {
+					continue // bye slot
+				}
+				if p > q {
+					p, q = q, p
+				}
+				apq := w.At(p, q)
+				if math.Abs(apq) <= skipTol {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				rots = append(rots, planeRot{p: p, q: q, c: c, s: t * c})
+			}
+			if len(rots) > 0 {
+				// Phase 1: column updates W ← W·J — disjoint column pairs.
+				par.ForChunks(n, workers, func(klo, khi int) {
+					for _, r := range rots {
+						for k := klo; k < khi; k++ {
+							row := w.Row(k)
+							wkp, wkq := row[r.p], row[r.q]
+							row[r.p] = r.c*wkp - r.s*wkq
+							row[r.q] = r.s*wkp + r.c*wkq
+						}
+					}
+				})
+				// Phase 2: row updates W ← Jᵀ·W — disjoint row pairs,
+				// split over column chunks.
+				par.ForChunks(n, workers, func(klo, khi int) {
+					for _, r := range rots {
+						rp, rq := w.Row(r.p), w.Row(r.q)
+						for k := klo; k < khi; k++ {
+							wpk, wqk := rp[k], rq[k]
+							rp[k] = r.c*wpk - r.s*wqk
+							rq[k] = r.s*wpk + r.c*wqk
+						}
+					}
+				})
+				// Phase 3: eigenvector updates V ← V·J.
+				par.ForChunks(n, workers, func(klo, khi int) {
+					for _, r := range rots {
+						for k := klo; k < khi; k++ {
+							row := v.Row(k)
+							vkp, vkq := row[r.p], row[r.q]
+							row[r.p] = r.c*vkp - r.s*vkq
+							row[r.q] = r.s*vkp + r.c*vkq
+						}
+					}
+				})
+			}
+			// Rotate the schedule: fix perm[0], cycle the rest.
+			last := perm[m-1]
+			copy(perm[2:], perm[1:m-1])
+			perm[1] = last
 		}
 	}
 	lambda = make([]float64, n)

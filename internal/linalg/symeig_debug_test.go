@@ -17,7 +17,7 @@ func TestTred2Internal(t *testing.T) {
 		zt := a.Clone()
 		d := make([]float64, n)
 		e := make([]float64, n)
-		tred2(zt, d, e)
+		tred2(zt, d, e, 1)
 		z := zt.T() // tred2 returns the transform transposed
 		checkOrthonormalCols(t, z, 1e-10, "tred2 Q")
 		tri := Mul(z.T(), Mul(a, z))

@@ -1,0 +1,46 @@
+package linalg
+
+import "sync"
+
+// The scratch pool backs the allocation-disciplined hot paths: Tree-SVD
+// rebuilds thousands of level-1 blocks per stream (Fig. 13 measures up to
+// 3062 rebuilds), and every rebuild needs the same handful of short-lived
+// temporaries — the Gaussian sketch, the subspace-iteration ping-pong
+// buffers, the projected small matrix, the Gram matrix of an exact SVD,
+// and the per-parent concat buffer of a merge. Drawing those from a
+// sync.Pool instead of the heap removes the dominant steady-state
+// allocations of the update loop.
+//
+// Ownership rules (documented in DESIGN.md): a pooled matrix is owned by
+// the caller from GetDense until PutDense; it must not be retained, and
+// no result returned to an outer caller may alias it. Kernels never pool
+// their own return values — only explicitly scratch intermediates.
+var densePool sync.Pool
+
+// GetDense returns a zeroed r×c matrix backed by pooled storage. The
+// caller must release it with PutDense once no live result aliases it.
+func GetDense(r, c int) *Dense {
+	n := r * c
+	v := densePool.Get()
+	if v == nil {
+		return NewDense(r, c)
+	}
+	m := v.(*Dense)
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+		clear(m.Data)
+	}
+	m.Rows, m.Cols = r, c
+	return m
+}
+
+// PutDense returns a matrix obtained from GetDense to the pool. Passing
+// nil is a no-op; passing a matrix that a live result still references is
+// a caller bug (the storage will be recycled under it).
+func PutDense(m *Dense) {
+	if m != nil {
+		densePool.Put(m)
+	}
+}

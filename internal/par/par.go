@@ -1,25 +1,26 @@
-// Package par provides the tiny worker-pool primitive used to
-// parallelize the embarrassingly parallel stages of the pipeline:
-// per-source PPR pushes, per-block level-1 factorizations and per-parent
-// tree merges. The paper's reference setup uses 64 threads; this library
-// mirrors that with a Workers knob (0 = GOMAXPROCS) threaded through the
+// Package par provides the tiny worker-pool primitives used to
+// parallelize the pipeline at two granularities: task parallelism over
+// independent items (per-source PPR pushes, per-block level-1
+// factorizations, per-parent tree merges) via For/ForErr, and data
+// parallelism over contiguous index ranges inside the linear-algebra
+// kernels via ForChunks. The paper's reference setup uses 64 threads;
+// this library mirrors that with a Workers knob threaded through the
 // public configs.
 package par
 
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// Workers resolves a worker-count knob: values < 1 mean GOMAXPROCS.
+// Workers is the single resolver for every Workers knob in the public
+// configs (treesvd.Config, core.Config, ppr.Params, rsvd.Options): values
+// ≤ 1 mean sequential. It replaces the formerly duplicated per-package
+// helpers, so "0 or 1 = sequential" holds uniformly across the codebase.
 func Workers(w int) int {
-	if w < 1 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return w
+	return max(w, 1)
 }
 
 // For runs fn(i) for every i in [0,n) across at most w workers. With one
@@ -138,6 +139,64 @@ func protect(fn func(worker, i int) error, worker, i int) (err error) {
 		}
 	}()
 	return fn(worker, i)
+}
+
+// chunksPerWorker oversubscribes ForChunks chunks relative to workers so
+// that dynamically scheduled chunks re-balance uneven work (e.g. the
+// shrinking triangular panels of a Gram product) without paying a
+// goroutine dispatch per index.
+const chunksPerWorker = 4
+
+// ForChunks runs fn over a partition of [0,n) into contiguous half-open
+// ranges [lo,hi), using at most w workers. It is the row-panel primitive
+// of the linear-algebra kernels: contiguous ranges amortize goroutine
+// dispatch over many rows and keep each worker streaming adjacent memory.
+// Ranges are dispatched dynamically (about chunksPerWorker per worker) so
+// uneven per-row work still balances. With w ≤ 1 it degenerates to a
+// single fn(0,n) call — no goroutines, no overhead.
+//
+// The chunk boundaries depend only on n and w, never on scheduling, so a
+// caller whose per-range work is deterministic gets a deterministic
+// result for any fixed (n, w).
+func ForChunks(n, w int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w = Workers(w)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunks := chunksPerWorker * w
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	chunks = (n + size - 1) / size
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ForWorker is For with the worker index passed to fn, so callers can use

@@ -2,6 +2,7 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -47,14 +48,88 @@ func TestForSingleWorkerOrdered(t *testing.T) {
 }
 
 func TestWorkers(t *testing.T) {
-	if Workers(0) != runtime.GOMAXPROCS(0) {
-		t.Fatal("Workers(0) != GOMAXPROCS")
+	// The unified resolver uses the public-config convention: 0 or
+	// negative (and 1) all mean sequential.
+	if Workers(0) != 1 {
+		t.Fatal("Workers(0) != 1")
 	}
-	if Workers(-3) != runtime.GOMAXPROCS(0) {
-		t.Fatal("Workers(-3) != GOMAXPROCS")
+	if Workers(-3) != 1 {
+		t.Fatal("Workers(-3) != 1")
+	}
+	if Workers(1) != 1 {
+		t.Fatal("Workers(1) != 1")
 	}
 	if Workers(5) != 5 {
 		t.Fatal("Workers(5) != 5")
+	}
+}
+
+func TestForChunksCoversAllIndicesOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		n := int(seed % 200)
+		w := int(seed%9) - 1 // include 0 and -1
+		seen := make([]int32, n)
+		ForChunks(n, w, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Fatalf("bad range [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForChunksZeroItems(t *testing.T) {
+	ForChunks(0, 4, func(lo, hi int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForChunksSequentialIsSingleRange(t *testing.T) {
+	calls := 0
+	ForChunks(17, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 17 {
+			t.Fatalf("sequential ForChunks got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("sequential ForChunks made %d calls", calls)
+	}
+}
+
+func TestForChunksRangesAreContiguousAndDeterministic(t *testing.T) {
+	// Chunk boundaries must depend only on (n, w): collect the realized
+	// ranges twice and compare as sets.
+	collect := func() map[[2]int]bool {
+		var mu sync.Mutex
+		set := make(map[[2]int]bool)
+		ForChunks(1000, 3, func(lo, hi int) {
+			mu.Lock()
+			set[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return set
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("chunk count varies: %d vs %d", len(a), len(b))
+	}
+	for r := range a {
+		if !b[r] {
+			t.Fatalf("range %v missing from second run", r)
+		}
 	}
 }
 

@@ -127,7 +127,7 @@ func (e *Engine) Push(st *State) {
 			continue
 		}
 		deg := float64(e.G.Degree(u, st.Dir))
-		if abs(ru) <= rmax*maxf(deg, 1) {
+		if abs(ru) <= rmax*max(deg, 1) {
 			continue
 		}
 		// PUSH(u): settle α·r at u, spread (1−α)·r across neighbors.
@@ -278,9 +278,3 @@ func abs(x float64) float64 {
 	return x
 }
 
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}

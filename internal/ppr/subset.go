@@ -52,7 +52,7 @@ func NewSubsetDirs(g *graph.Graph, s []int32, params Params, fwd, rev bool) (*Su
 	if rev {
 		sp.Rev = make([]*State, len(s))
 	}
-	if err := par.ForWorkerErr(nil, len(sp.S), sp.workers(), func(worker, i int) error {
+	if err := par.ForWorkerErr(nil, len(sp.S), par.Workers(sp.Engine.Params.Workers), func(worker, i int) error {
 		eng := sp.engines[worker]
 		if fwd {
 			sp.Fwd[i] = NewState(sp.S[i], graph.Forward)
@@ -88,21 +88,13 @@ func newSubsetShell(g *graph.Graph, s []int32, params Params) (*Subset, error) {
 		return nil, err
 	}
 	sp := &Subset{Engine: eng, S: append([]int32(nil), s...)}
-	w := sp.workers()
+	w := par.Workers(params.Workers)
 	sp.engines = make([]*Engine, w)
 	sp.engines[0] = sp.Engine
 	for i := 1; i < w; i++ {
 		sp.engines[i], _ = NewEngine(g, params) // params already validated
 	}
 	return sp, nil
-}
-
-// workers resolves the configured worker count (0/1 = sequential).
-func (sp *Subset) workers() int {
-	if sp.Engine.Params.Workers <= 1 {
-		return 1
-	}
-	return sp.Engine.Params.Workers
 }
 
 // appliedEvent records one effective graph mutation together with the
@@ -137,7 +129,7 @@ func (sp *Subset) ApplyEvents(ctx context.Context, events []graph.Event) error {
 	if len(applied) == 0 {
 		return nil
 	}
-	return par.ForWorkerErr(ctx, len(sp.S), sp.workers(), func(worker, i int) error {
+	return par.ForWorkerErr(ctx, len(sp.S), par.Workers(sp.Engine.Params.Workers), func(worker, i int) error {
 		eng := sp.engines[worker]
 		if sp.Fwd != nil {
 			st := sp.Fwd[i]
@@ -163,7 +155,7 @@ func (sp *Subset) ApplyEvents(ctx context.Context, events []graph.Event) error {
 // finish, so a cancelled Rebuild leaves every state either old-and-valid
 // or new-and-valid.
 func (sp *Subset) Rebuild(ctx context.Context) error {
-	return par.ForWorkerErr(ctx, len(sp.S), sp.workers(), func(worker, i int) error {
+	return par.ForWorkerErr(ctx, len(sp.S), par.Workers(sp.Engine.Params.Workers), func(worker, i int) error {
 		eng := sp.engines[worker]
 		if sp.Fwd != nil {
 			st := NewState(sp.S[i], graph.Forward)

@@ -67,15 +67,23 @@ func SparseCW(a *sparse.CSR, opts Options) (*linalg.SVDResult, error) {
 		return &linalg.SVDResult{U: linalg.NewDense(a.Rows, 0), V: linalg.NewDense(a.Cols, 0)}, nil
 	}
 	cs := NewCountSketch(rng, t, a.Cols)
-	y := rangeBasis(cs.ApplyRight(a)) // rows×min(rows,t), orthonormal
+	kw := opts.Workers
+	y := rangeBasis(cs.ApplyRight(a), kw) // rows×min(rows,t), orthonormal
 	for it := 0; it < opts.PowerIters; it++ {
-		z := rangeBasis(a.TMulDense(y))
-		y = rangeBasis(a.MulDense(z))
+		z := rangeBasis(a.TMulDenseW(y, kw), kw)
+		linalg.PutDense(y)
+		y = rangeBasis(a.MulDenseW(z, kw), kw)
+		linalg.PutDense(z)
 	}
 	q := y
-	w := a.TMulDense(q).T()
-	small := linalg.SVD(w)
-	u := linalg.Mul(q, small.U)
+	wt := a.TMulDenseW(q, kw)
+	w := wt.T()
+	linalg.PutDense(wt)
+	small := linalg.SVDW(w, kw)
+	linalg.PutDense(w)
+	u := linalg.MulW(q, small.U, kw)
+	linalg.PutDense(q)
+	linalg.PutDense(small.U)
 	res := &linalg.SVDResult{U: u, S: small.S, V: small.V}
 	return res.Truncate(opts.Rank), nil
 }

@@ -28,6 +28,11 @@ type Options struct {
 	// Seed drives the Gaussian / count-sketch draw; runs are deterministic
 	// for a fixed seed.
 	Seed int64
+	// Workers is the kernel worker budget for the sparse products, QR and
+	// small SVD (0 or 1 = sequential). It does not affect the factorization
+	// result except through the documented O(ε) rounding of parallel
+	// sparse transpose-products.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -51,10 +56,14 @@ func (o Options) sketchCols(n int) int {
 // GaussianDense returns an r×c matrix of iid N(0,1) entries drawn from rng.
 func GaussianDense(rng *rand.Rand, r, c int) *linalg.Dense {
 	m := linalg.NewDense(r, c)
+	fillGaussian(rng, m)
+	return m
+}
+
+func fillGaussian(rng *rand.Rand, m *linalg.Dense) {
 	for i := range m.Data {
 		m.Data[i] = rng.NormFloat64()
 	}
-	return m
 }
 
 // Sparse computes a randomized truncated SVD of a sparse matrix A (rows×n).
@@ -67,12 +76,18 @@ func GaussianDense(rng *rand.Rand, r, c int) *linalg.Dense {
 // For Tree-SVD's level-1 blocks the row count is |S| (small) and n is the
 // block width, so every dense intermediate is tiny; the sparse products are
 // O(nnz·p) each, matching the Theorem 3.3 accounting.
+//
+// Every intermediate that dies inside the routine — the Gaussian sketch,
+// the subspace ping-pong buffers, the projected small matrix — cycles
+// through the linalg scratch pool, so the thousands of block rebuilds of a
+// dynamic stream reuse a handful of buffers instead of reallocating them.
 func Sparse(a *sparse.CSR, opts Options) (*linalg.SVDResult, error) {
 	opts = opts.withDefaults()
 	if opts.Rank <= 0 {
 		return nil, fmt.Errorf("rsvd: non-positive rank %d", opts.Rank)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	kw := opts.Workers
 	p := opts.sketchCols(min(a.Rows, a.Cols))
 	if p == 0 || a.NNZ() == 0 {
 		return &linalg.SVDResult{U: linalg.NewDense(a.Rows, 0), V: linalg.NewDense(a.Cols, 0)}, nil
@@ -82,20 +97,30 @@ func Sparse(a *sparse.CSR, opts Options) (*linalg.SVDResult, error) {
 		// finder saves nothing, so take the exact thin SVD of the block
 		// directly (Gram side is Cols×Cols — tiny). Cheaper and exact for
 		// the narrow blocks produced by large b.
-		return linalg.SVDTrunc(a.ToDense(), opts.Rank), nil
+		return linalg.SVDTruncW(a.ToDense(), opts.Rank, kw), nil
 	}
-	omega := GaussianDense(rng, a.Cols, p)
-	y := a.MulDense(omega) // rows×p
+	omega := linalg.GetDense(a.Cols, p)
+	fillGaussian(rng, omega)
+	y := a.MulDenseW(omega, kw) // rows×p
+	linalg.PutDense(omega)
 	for it := 0; it < opts.PowerIters; it++ {
-		linalg.Orthonormalize(y)
-		z := a.TMulDense(y) // n×p
-		linalg.Orthonormalize(z)
-		y = a.MulDense(z)
+		linalg.OrthonormalizeW(y, kw)
+		z := a.TMulDenseW(y, kw) // n×p
+		linalg.OrthonormalizeW(z, kw)
+		linalg.PutDense(y)
+		y = a.MulDenseW(z, kw)
+		linalg.PutDense(z)
 	}
-	q, _ := linalg.QRThin(y)
-	w := a.TMulDense(q).T() // (p×n): rows are Qᵀ·A
-	small := linalg.SVD(w)
-	u := linalg.Mul(q, small.U)
+	q, _ := linalg.QRThinW(y, kw)
+	linalg.PutDense(y)
+	wt := a.TMulDenseW(q, kw) // n×p
+	w := wt.T()               // (p×n): rows are Qᵀ·A
+	linalg.PutDense(wt)
+	small := linalg.SVDW(w, kw)
+	linalg.PutDense(w)
+	u := linalg.MulW(q, small.U, kw)
+	linalg.PutDense(q)
+	linalg.PutDense(small.U)
 	res := &linalg.SVDResult{U: u, S: small.S, V: small.V}
 	return res.Truncate(opts.Rank), nil
 }
@@ -109,39 +134,45 @@ func Dense(a *linalg.Dense, opts Options) (*linalg.SVDResult, error) {
 		return nil, fmt.Errorf("rsvd: non-positive rank %d", opts.Rank)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	kw := opts.Workers
 	p := opts.sketchCols(min(a.Rows, a.Cols))
 	if p == 0 {
 		return &linalg.SVDResult{U: linalg.NewDense(a.Rows, 0), V: linalg.NewDense(a.Cols, 0)}, nil
 	}
-	omega := GaussianDense(rng, a.Cols, p)
-	y := linalg.Mul(a, omega)
+	omega := linalg.GetDense(a.Cols, p)
+	fillGaussian(rng, omega)
+	y := linalg.MulW(a, omega, kw)
+	linalg.PutDense(omega)
 	for it := 0; it < opts.PowerIters; it++ {
-		linalg.Orthonormalize(y)
-		z := linalg.TMul(a, y)
-		linalg.Orthonormalize(z)
-		y = linalg.Mul(a, z)
+		linalg.OrthonormalizeW(y, kw)
+		z := linalg.TMulW(a, y, kw)
+		linalg.OrthonormalizeW(z, kw)
+		linalg.PutDense(y)
+		y = linalg.MulW(a, z, kw)
+		linalg.PutDense(z)
 	}
-	q, _ := linalg.QRThin(y)
-	w := linalg.TMul(q, a)
-	small := linalg.SVD(w)
-	u := linalg.Mul(q, small.U)
+	q, _ := linalg.QRThinW(y, kw)
+	linalg.PutDense(y)
+	w := linalg.TMulW(q, a, kw)
+	small := linalg.SVDW(w, kw)
+	linalg.PutDense(w)
+	u := linalg.MulW(q, small.U, kw)
+	linalg.PutDense(q)
+	linalg.PutDense(small.U)
 	res := &linalg.SVDResult{U: u, S: small.S, V: small.V}
 	return res.Truncate(opts.Rank), nil
 }
 
 // rangeBasis returns an orthonormal basis of the column space of y: the
 // thin-QR Q for tall matrices, the left singular vectors for wide ones.
-func rangeBasis(y *linalg.Dense) *linalg.Dense {
+// It consumes y (the storage is pooled).
+func rangeBasis(y *linalg.Dense, workers int) *linalg.Dense {
 	if y.Rows >= y.Cols {
-		q, _ := linalg.QRThin(y)
+		q, _ := linalg.QRThinW(y, workers)
+		linalg.PutDense(y)
 		return q
 	}
-	return linalg.SVD(y).U
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	u := linalg.SVDW(y, workers).U
+	linalg.PutDense(y)
+	return u
 }

@@ -36,66 +36,6 @@ func (m *CSR) At(i, j int) float64 {
 // FrobNorm returns the Frobenius norm.
 func (m *CSR) FrobNorm() float64 { return linalg.Norm2(m.Val) }
 
-// MulDense returns m·b for a dense b (Cols×k). Cost O(nnz·k).
-func (m *CSR) MulDense(b *linalg.Dense) *linalg.Dense {
-	if b.Rows != m.Cols {
-		panic(fmt.Sprintf("sparse: MulDense shape mismatch %d×%d · %d×%d", m.Rows, m.Cols, b.Rows, b.Cols))
-	}
-	out := linalg.NewDense(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		orow := out.Row(i)
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			v := m.Val[p]
-			brow := b.Row(int(m.ColIdx[p]))
-			for j, bv := range brow {
-				orow[j] += v * bv
-			}
-		}
-	}
-	return out
-}
-
-// TMulDense returns mᵀ·b for a dense b (Rows×k), i.e. a (Cols×k) result.
-// Cost O(nnz·k).
-func (m *CSR) TMulDense(b *linalg.Dense) *linalg.Dense {
-	if b.Rows != m.Rows {
-		panic(fmt.Sprintf("sparse: TMulDense shape mismatch (%d×%d)ᵀ · %d×%d", m.Rows, m.Cols, b.Rows, b.Cols))
-	}
-	out := linalg.NewDense(m.Cols, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		brow := b.Row(i)
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			v := m.Val[p]
-			orow := out.Row(int(m.ColIdx[p]))
-			for j, bv := range brow {
-				orow[j] += v * bv
-			}
-		}
-	}
-	return out
-}
-
-// DenseLeftMul returns b·m for a dense b (k×Rows), i.e. a (k×Cols) result.
-func (m *CSR) DenseLeftMul(b *linalg.Dense) *linalg.Dense {
-	if b.Cols != m.Rows {
-		panic(fmt.Sprintf("sparse: DenseLeftMul shape mismatch %d×%d · %d×%d", b.Rows, b.Cols, m.Rows, m.Cols))
-	}
-	out := linalg.NewDense(b.Rows, m.Cols)
-	for r := 0; r < b.Rows; r++ {
-		brow := b.Row(r)
-		orow := out.Row(r)
-		for i, bv := range brow {
-			if bv == 0 {
-				continue
-			}
-			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-				orow[m.ColIdx[p]] += bv * m.Val[p]
-			}
-		}
-	}
-	return out
-}
-
 // ToDense materializes the matrix densely (tests and small matrices only).
 func (m *CSR) ToDense() *linalg.Dense {
 	out := linalg.NewDense(m.Rows, m.Cols)

@@ -252,6 +252,29 @@ func (m *DynRow) ToCSR() *CSR {
 	return out
 }
 
+// TMulDense returns mᵀ·b for a dense b (rows×k) directly from the live
+// row maps — no CSR materialization (ToCSR costs O(nnz·log) in sorts and
+// a full copy, which dominated ReconstructionError before this existed).
+// Each output row c accumulates its contributions in ascending input-row
+// order, so the result is deterministic despite map iteration: entries of
+// a given column c within one row map are unique, and rows are visited in
+// order.
+func (m *DynRow) TMulDense(b *linalg.Dense) *linalg.Dense {
+	if b.Rows != m.rows {
+		panic(fmt.Sprintf("sparse: TMulDense shape mismatch (%d×%d)ᵀ · %d×%d", m.rows, m.cols, b.Rows, b.Cols))
+	}
+	out := linalg.NewDense(m.cols, b.Cols)
+	for r := 0; r < m.rows; r++ {
+		brow := b.Row(r)
+		for j := 0; j < m.nblocks; j++ {
+			for c, v := range m.data[r][j] {
+				axpyRow(out.Row(int(c)), v, brow)
+			}
+		}
+	}
+	return out
+}
+
 // FrobNorm returns the Frobenius norm of the whole matrix.
 func (m *DynRow) FrobNorm() float64 {
 	var f float64

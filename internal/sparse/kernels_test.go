@@ -1,0 +1,96 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/linalg"
+)
+
+// lowerSparseFlopGate drops the dispatch floor so small test matrices
+// exercise the parallel sparse kernels; restored via t.Cleanup.
+func lowerSparseFlopGate(t *testing.T) {
+	t.Helper()
+	old := spMinFlops
+	spMinFlops = 1
+	t.Cleanup(func() { spMinFlops = old })
+}
+
+func TestMulDenseWMatchesSerial(t *testing.T) {
+	lowerSparseFlopGate(t)
+	rng := rand.New(rand.NewSource(31))
+	for _, sh := range []struct{ r, c, k int }{{1, 1, 1}, {9, 5, 3}, {60, 40, 7}, {0, 4, 3}} {
+		m := randCSR(rng, sh.r, sh.c, 0.3)
+		b := randDense(rng, sh.c, sh.k)
+		ref := m.MulDenseW(b, 1)
+		for _, w := range []int{2, 3, 8} {
+			if d := linalg.MaxAbsDiff(ref, m.MulDenseW(b, w)); d != 0 {
+				t.Fatalf("%v workers=%d: differs by %g (must be bit-identical)", sh, w, d)
+			}
+		}
+	}
+}
+
+func TestDenseLeftMulWMatchesSerial(t *testing.T) {
+	lowerSparseFlopGate(t)
+	rng := rand.New(rand.NewSource(37))
+	for _, sh := range []struct{ k, r, c int }{{1, 1, 1}, {4, 9, 5}, {7, 60, 40}} {
+		m := randCSR(rng, sh.r, sh.c, 0.3)
+		b := randDense(rng, sh.k, sh.r)
+		ref := m.DenseLeftMulW(b, 1)
+		for _, w := range []int{2, 3, 8} {
+			if d := linalg.MaxAbsDiff(ref, m.DenseLeftMulW(b, w)); d != 0 {
+				t.Fatalf("%v workers=%d: differs by %g (must be bit-identical)", sh, w, d)
+			}
+		}
+	}
+}
+
+// TestTMulDenseWMatchesSerial allows a summation-scaled tolerance: the
+// parallel transpose-product reduces per-worker partials, so across
+// worker counts results agree only to reordered-summation rounding (the
+// kernel layer's documented bit-stability exemption). For a fixed worker
+// count the result must still be deterministic.
+func TestTMulDenseWMatchesSerial(t *testing.T) {
+	lowerSparseFlopGate(t)
+	rng := rand.New(rand.NewSource(41))
+	for _, sh := range []struct{ r, c, k int }{{1, 1, 1}, {9, 5, 3}, {60, 40, 7}, {200, 30, 5}} {
+		m := randCSR(rng, sh.r, sh.c, 0.3)
+		b := randDense(rng, sh.r, sh.k)
+		ref := m.TMulDenseW(b, 1)
+		scale := 1.0
+		for _, v := range ref.Data {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		tol := 1e-12 * float64(sh.r+1) * scale
+		for _, w := range []int{2, 3, 8} {
+			got := m.TMulDenseW(b, w)
+			if d := linalg.MaxAbsDiff(ref, got); d > tol {
+				t.Fatalf("%v workers=%d: differs by %g > tol %g", sh, w, d, tol)
+			}
+			if d := linalg.MaxAbsDiff(got, m.TMulDenseW(b, w)); d != 0 {
+				t.Fatalf("%v workers=%d: non-deterministic for fixed worker count (%g)", sh, w, d)
+			}
+		}
+	}
+}
+
+// TestDynRowTMulDense checks the direct-from-maps transpose product
+// against the CSR route it replaces in ReconstructionError. The two visit
+// each output row's contributions in the same ascending input-row order,
+// so they must agree exactly.
+func TestDynRowTMulDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := NewDynRow(12, 50, 5)
+	for i := 0; i < 200; i++ {
+		m.Set(rng.Intn(12), rng.Intn(50), rng.NormFloat64())
+	}
+	b := randDense(rng, 12, 7)
+	want := m.ToCSR().TMulDense(b)
+	if d := linalg.MaxAbsDiff(want, m.TMulDense(b)); d != 0 {
+		t.Fatalf("DynRow.TMulDense differs from CSR route by %g", d)
+	}
+}

@@ -72,7 +72,7 @@ func FactorizeMatrix(m *SparseMatrix, cfg Config) (*SVDResult, error) {
 	}
 	// Recover the right singular matrix Ṽ = Σ⁻¹·Uᵀ·A (Theorem 3.2) in one
 	// sparse pass.
-	vt := csr.TMulDense(root.U) // cols×rank = Aᵀ·U
+	vt := csr.TMulDenseW(root.U, tcfg.Workers) // cols×rank = Aᵀ·U
 	inv := make([]float64, len(root.S))
 	for i, s := range root.S {
 		if s > 0 {
