@@ -1,12 +1,17 @@
 # Tree-SVD developer targets. `make ci` is the full gate: vet, build,
-# tests, and the race-detector pass over the concurrency-sensitive
-# packages (the public facade and everything under internal/).
+# tests, the race-detector pass over the concurrency-sensitive packages
+# (the public facade and everything under internal/), and the short-mode
+# differential fuzz of the correctness harness.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-kernels fmt
+# Seed count for `make fuzz`; each seed is one adversarial churn stream
+# driven through the differential harness (internal/check).
+SEEDS ?= 16
 
-ci: vet build test race
+.PHONY: ci vet build test race differential fuzz bench bench-kernels fmt
+
+ci: vet build test race differential
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +24,15 @@ test:
 
 race:
 	$(GO) test -race ./internal/... .
+
+# Differential correctness harness at the default seed count, under the
+# race detector — the CI gate for the dynamic path.
+differential:
+	$(GO) test -race -run TestDifferential -count=1 ./internal/check
+
+# Configurable-depth fuzz: make fuzz SEEDS=64
+fuzz:
+	TREESVD_FUZZ_SEEDS=$(SEEDS) $(GO) test -run TestDifferential -count=1 -v ./internal/check
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 50x .

@@ -1,0 +1,21 @@
+package treesvd
+
+import "fmt"
+
+// NodeRangeError reports an event whose node id falls outside the
+// embedder's fixed proximity width (the Config.MaxNodes contract).
+// ApplyEvents validates the whole batch up front and returns this error
+// before mutating anything — the graph, the PPR estimates and the
+// published snapshot are exactly as they were, so the caller may drop or
+// remap the offending events and retry.
+type NodeRangeError struct {
+	Index    int   // position of the offending event within the batch
+	Node     int32 // the out-of-range (or negative) node id
+	MaxNodes int   // the embedder's capacity, fixed at New
+}
+
+func (e *NodeRangeError) Error() string {
+	return fmt.Sprintf(
+		"treesvd: event %d references node %d outside the embedder's capacity of %d nodes (set Config.MaxNodes at New to cover every id the stream will reach)",
+		e.Index, e.Node, e.MaxNodes)
+}

@@ -9,7 +9,8 @@ import (
 // TestRegistryComplete pins the experiment inventory to DESIGN.md §3.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig3", "table4", "exp2", "fig5scale", "exp3nc", "exp3lp",
-		"exp4", "table7", "exp5", "fig11", "fig12", "fig13", "fig14", "ablations", "futurework"}
+		"exp4", "table7", "exp5", "fig11", "fig12", "fig13", "fig14", "ablations", "futurework",
+		"churnstress"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))

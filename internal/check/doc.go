@@ -1,0 +1,29 @@
+// Package check is the correctness harness of the repository: invariant
+// auditors for every layer of the dynamic pipeline, plus the fingerprint
+// helpers the snapshot-immutability and differential tests build on.
+//
+// The auditors verify redundancy the pipeline maintains for speed against
+// the ground truth it summarizes:
+//
+//   - PPRState / PPRSubset — the Forward-Push contract: every residue
+//     within the r_max threshold, every key a valid node id, and the
+//     estimate/residue mass exactly accounted for (Σp + Σr = 1, which
+//     both pushes and the Algorithm 2 corrections preserve).
+//   - DynRow — the incrementally maintained block Frobenius norms, delta
+//     norms, nnz counters and baseline keys versus an exact recount.
+//   - Tree / TreeDeep — cached factorization shapes versus the tree
+//     geometry, and (deep) each level-1 cache versus re-factoring its
+//     recorded baseline at its recorded seed.
+//   - Snapshot / FingerprintRows — order-sensitive content hashes used to
+//     prove published snapshots never mutate.
+//
+// Auditors return nil on a healthy structure and a descriptive error
+// naming the first violated invariant otherwise. They read (never mutate)
+// the structures they audit; callers are responsible for excluding
+// concurrent writers, exactly as for any other read of those structures.
+//
+// The differential/metamorphic fuzzer lives in this package's external
+// test suite (package check_test), which may import the public treesvd
+// facade without creating an import cycle; treesvd itself imports this
+// package for its opt-in Config.SelfCheck hook.
+package check

@@ -1,0 +1,57 @@
+package check
+
+import "math"
+
+// FNV-1a parameters (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashBits(h uint64, bits uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= bits & 0xff
+		h *= fnvPrime
+		bits >>= 8
+	}
+	return h
+}
+
+// FingerprintVec returns an order-sensitive FNV-1a hash of a float
+// vector's exact bit patterns. Any mutation — value, order, or length —
+// changes the fingerprint (up to hash collisions).
+func FingerprintVec(v []float64) uint64 {
+	h := uint64(fnvOffset)
+	h = hashBits(h, uint64(len(v)))
+	for _, x := range v {
+		h = hashBits(h, math.Float64bits(x))
+	}
+	return h
+}
+
+// FingerprintRows returns an order-sensitive FNV-1a hash of a row-major
+// matrix's exact bit patterns, including the row structure.
+func FingerprintRows(rows [][]float64) uint64 {
+	h := uint64(fnvOffset)
+	h = hashBits(h, uint64(len(rows)))
+	for _, r := range rows {
+		h = hashBits(h, uint64(len(r)))
+		for _, x := range r {
+			h = hashBits(h, math.Float64bits(x))
+		}
+	}
+	return h
+}
+
+// Snapshot combines the observable state of a published embedding
+// snapshot — left embedding X, right embedding Y, and the root spectrum —
+// into one immutability fingerprint. The concurrency harness hashes a
+// snapshot before and after an update storm: published versions are
+// immutable, so the two fingerprints must be identical.
+func Snapshot(x, y [][]float64, rootS []float64) uint64 {
+	h := uint64(fnvOffset)
+	h = hashBits(h, FingerprintRows(x))
+	h = hashBits(h, FingerprintRows(y))
+	h = hashBits(h, FingerprintVec(rootS))
+	return h
+}

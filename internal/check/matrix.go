@@ -1,0 +1,12 @@
+package check
+
+import "github.com/tree-svd/treesvd/internal/sparse"
+
+// DynRow audits a proximity matrix's incrementally maintained bookkeeping
+// (per-block Frobenius norms, delta norms against the rebuild baselines,
+// nnz counters, baseline key validity) against an exact O(nnz) recount.
+// The maintained quantities feed the Eqn. 2 lazy-update trigger, so drift
+// here silently turns into missed (or spurious) block rebuilds.
+func DynRow(m *sparse.DynRow) error {
+	return m.AuditRecount()
+}

@@ -1,0 +1,26 @@
+package check
+
+import "github.com/tree-svd/treesvd/internal/core"
+
+// Tree audits a Tree-SVD's cached structures against the matrix it wraps
+// and its configured geometry: level-1 caches present and correctly
+// shaped, upper-level slices sized by levelCounts, root dimensions
+// agreeing with a descending non-negative spectrum. Cheap (no
+// factorizations) — suitable for per-update self-checks.
+func Tree(t *core.Tree) error {
+	return t.AuditShapes()
+}
+
+// TreeDeep is Tree plus seed-replay verification of every level-1 cache:
+// each block's baseline (its contents at the cache's rebuild, recovered
+// from the DynRow delta bookkeeping) is re-factored at the seed recorded
+// in the cache and must reproduce the cached Ū and tail energy. This ties
+// three layers together — cache, baseline bookkeeping, and the
+// deterministic randomized SVD — so corruption in any one of them
+// surfaces. Costs a full re-factorization per block; harness use only.
+func TreeDeep(t *core.Tree) error {
+	if err := t.AuditShapes(); err != nil {
+		return err
+	}
+	return t.AuditBlocks()
+}

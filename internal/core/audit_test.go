@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// auditedTree builds a tree, churns the matrix, and runs a lazy Update so
+// the caches mix freshly factored and skipped blocks — the state the
+// audits have to reason about.
+func auditedTree(t *testing.T) (*Tree, *sparse.DynRow) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	m := sparse.NewDynRow(8, 64, 8)
+	fillLowRank(rng, m, 4, 0.01, 0.4)
+	tr := mustCore(NewTree(m, testConfig(4)))
+	must0t(tr.Build(bgt))
+	for i := 0; i < 40; i++ {
+		m.Set(rng.Intn(m.Rows()), rng.Intn(m.Cols()), rng.NormFloat64())
+	}
+	mustCore(tr.Update(bgt))
+	return tr, m
+}
+
+func TestAuditShapesClean(t *testing.T) {
+	tr, _ := auditedTree(t)
+	if err := tr.AuditShapes(); err != nil {
+		t.Fatalf("healthy tree failed shape audit: %v", err)
+	}
+	if err := tr.AuditBlocks(); err != nil {
+		t.Fatalf("healthy tree failed block audit: %v", err)
+	}
+}
+
+// TestAuditShapesDetectsCorruption mangles one cached structure at a time.
+func TestAuditShapesDetectsCorruption(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(*Tree)
+		want   string
+	}{
+		"missing level-1 cache": {
+			func(tr *Tree) { tr.level1[2] = nil },
+			"missing level-1 cache",
+		},
+		"negative tail energy": {
+			func(tr *Tree) { tr.level1[1].tail = -0.5 },
+			"tail",
+		},
+		"NaN tail energy": {
+			func(tr *Tree) { tr.level1[1].tail = math.NaN() },
+			"tail",
+		},
+		"truncated upper level": {
+			func(tr *Tree) { tr.upper[0] = tr.upper[0][:len(tr.upper[0])-1] },
+			"upper level",
+		},
+		"missing root": {
+			func(tr *Tree) { tr.root = nil },
+			"root",
+		},
+		"spectrum not descending": {
+			func(tr *Tree) { tr.root.S[0], tr.root.S[1] = tr.root.S[1], tr.root.S[0] },
+			"spectrum",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			tr, _ := auditedTree(t)
+			tc.mutate(tr)
+			err := tr.AuditShapes()
+			if err == nil {
+				t.Fatalf("corruption went undetected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAuditBlockSeedReplay verifies the audit's core property: every
+// level-1 cache can be reproduced bit-for-bit by re-factoring the block's
+// baseline at the recorded sequence number — and a cache whose contents
+// were tampered with after the fact no longer can.
+func TestAuditBlockSeedReplay(t *testing.T) {
+	tr, _ := auditedTree(t)
+	for j := range tr.level1 {
+		if err := tr.AuditBlock(j); err != nil {
+			t.Fatalf("block %d failed seed replay: %v", j, err)
+		}
+	}
+
+	tr.level1[3].us.Data[0] += 1e-6
+	if err := tr.AuditBlock(3); err == nil {
+		t.Fatal("tampered Ū cache passed seed replay")
+	}
+	tr, _ = auditedTree(t)
+	tr.level1[3].tail *= 1.01
+	if tr.level1[3].tail == 0 {
+		t.Skip("block tail is exactly zero; perturbation impossible")
+	}
+	if err := tr.AuditBlock(3); err == nil {
+		t.Fatal("tampered tail passed seed replay")
+	}
+}
+
+// TestAuditBlockSkipsUnknownProvenance: caches restored from snapshots
+// that predate seed recording carry seq = -1 and must be skipped, not
+// failed.
+func TestAuditBlockSkipsUnknownProvenance(t *testing.T) {
+	tr, _ := auditedTree(t)
+	tr.level1[0].seq = -1
+	tr.level1[0].us.Data[0] += 1 // would fail replay if it ran
+	if err := tr.AuditBlock(0); err != nil {
+		t.Fatalf("seq = -1 block audited anyway: %v", err)
+	}
+}

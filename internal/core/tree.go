@@ -19,6 +19,11 @@ import (
 type blockCache struct {
 	us   *linalg.Dense
 	tail float64
+	// seq is the tree's factorization counter when this cache was built; it
+	// pins the randomized draw, so the correctness harness can re-factor
+	// the block's baseline at the same seed and demand an identical result.
+	// -1 marks caches restored from a snapshot without seed provenance.
+	seq int64
 }
 
 // Stats counts the work done by the last Build or Update call.
@@ -86,13 +91,24 @@ func (t *Tree) Built() bool { return t.built }
 // DynRow baseline — commits happen only after a whole Build/Update
 // succeeds.
 func (t *Tree) factorBlock(j, kernelWorkers int) (*blockCache, error) {
-	blk := t.m.BlockCSR(j)
+	return t.factorCSR(t.m.BlockCSR(j), j, t.seq, kernelWorkers)
+}
+
+// blockSeed pins the randomized draw of block j's factorization at pass
+// seq; factorCSR and the harness's AuditBlock derive seeds the same way,
+// so replaying a block's baseline reproduces its cached factorization.
+func (t *Tree) blockSeed(j int, seq int64) int64 {
+	return t.cfg.Seed + int64(j)*1_000_003 + seq*7_777_777
+}
+
+// factorCSR factors an extracted block at an explicit pass counter.
+func (t *Tree) factorCSR(blk *sparse.CSR, j int, seq int64, kernelWorkers int) (*blockCache, error) {
 	frob := blk.FrobNorm()
 	opts := rsvd.Options{
 		Rank:       t.cfg.Rank,
 		Oversample: t.cfg.Oversample,
 		PowerIters: t.cfg.PowerIters,
-		Seed:       t.cfg.Seed + int64(j)*1_000_003 + t.seq*7_777_777,
+		Seed:       t.blockSeed(j, seq),
 		Workers:    kernelWorkers,
 	}
 	var res *linalg.SVDResult
@@ -105,7 +121,7 @@ func (t *Tree) factorBlock(j, kernelWorkers int) (*blockCache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: block %d: %w", j, err)
 	}
-	return &blockCache{us: res.US(), tail: res.TailEnergy(frob, t.cfg.Rank)}, nil
+	return &blockCache{us: res.US(), tail: res.TailEnergy(frob, t.cfg.Rank), seq: seq}, nil
 }
 
 // splitBudget divides the tree's worker budget across tasks concurrent

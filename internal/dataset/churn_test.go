@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/graph"
+)
+
+func churnProfile() ChurnProfile {
+	return ChurnProfile{
+		Nodes: 40, MaxNodes: 50, Degree: 3,
+		Batches: 5, BatchSize: 20,
+		SelfLoopFrac: 0.2, DeleteFrac: 0.2, DupFrac: 0.1, MissFrac: 0.1, GrowFrac: 0.1,
+		BigBatch: 2, BigBatchSize: 60,
+		Protect: []int32{0, 7},
+		Seed:    3,
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	g1, b1 := GenerateChurn(churnProfile())
+	g2, b2 := GenerateChurn(churnProfile())
+	if g1.NumEdges() != g2.NumEdges() || g1.NumNodes() != g2.NumNodes() {
+		t.Fatalf("initial graphs differ: %d/%d edges, %d/%d nodes",
+			g1.NumEdges(), g2.NumEdges(), g1.NumNodes(), g2.NumNodes())
+	}
+	if len(b1) != len(b2) {
+		t.Fatalf("batch counts differ: %d vs %d", len(b1), len(b2))
+	}
+	for i := range b1 {
+		if len(b1[i]) != len(b2[i]) {
+			t.Fatalf("batch %d sizes differ: %d vs %d", i, len(b1[i]), len(b2[i]))
+		}
+		for k := range b1[i] {
+			if b1[i][k] != b2[i][k] {
+				t.Fatalf("batch %d event %d differs: %+v vs %+v", i, k, b1[i][k], b2[i][k])
+			}
+		}
+	}
+}
+
+// TestChurnStreamShape replays the stream over the initial graph and
+// verifies the generator's promises: every event is well-formed and
+// applicable, the big batch is inflated, protected nodes never lose their
+// last out-edge, growth stays within MaxNodes, and the stream actually
+// contains the edge cases it exists to produce — self-loop events
+// including sink transitions, genuine duplicate-insert and
+// missing-delete no-ops.
+func TestChurnStreamShape(t *testing.T) {
+	p := churnProfile()
+	g, batches := GenerateChurn(p)
+	if len(batches) != p.Batches {
+		t.Fatalf("%d batches, want %d", len(batches), p.Batches)
+	}
+	var selfLoops, sinkTransitions, dupNoOps, missNoOps, growth int
+	for i, batch := range batches {
+		want := p.BatchSize
+		if i == p.BigBatch {
+			want = p.BigBatchSize
+		}
+		if len(batch) != want {
+			t.Fatalf("batch %d has %d events, want %d", i, len(batch), want)
+		}
+		for _, ev := range batch {
+			if ev.U < 0 || ev.V < 0 || int(ev.U) >= p.MaxNodes || int(ev.V) >= p.MaxNodes {
+				t.Fatalf("batch %d: event %+v outside MaxNodes %d", i, ev, p.MaxNodes)
+			}
+			if ev.U == ev.V {
+				selfLoops++
+				if ev.Type == graph.Insert && g.OutDeg(ev.U) == 0 {
+					sinkTransitions++
+				}
+			}
+			switch ev.Type {
+			case graph.Insert:
+				if g.HasEdge(ev.U, ev.V) {
+					dupNoOps++
+				}
+				if int(ev.V) >= g.NumNodes() {
+					growth++
+				}
+			case graph.Delete:
+				if !g.HasEdge(ev.U, ev.V) {
+					missNoOps++
+				}
+			}
+			g.Apply(ev)
+			for _, v := range p.Protect {
+				if g.OutDeg(v) == 0 {
+					t.Fatalf("batch %d: protected node %d left dangling by %+v", i, v, ev)
+				}
+			}
+		}
+	}
+	if g.NumNodes() > p.MaxNodes {
+		t.Fatalf("grew to %d nodes, cap %d", g.NumNodes(), p.MaxNodes)
+	}
+	if selfLoops == 0 || sinkTransitions == 0 || dupNoOps == 0 || missNoOps == 0 || growth == 0 {
+		t.Fatalf("stream missing edge cases: %d self-loops (%d sink transitions), %d dup no-ops, %d miss no-ops, %d growth",
+			selfLoops, sinkTransitions, dupNoOps, missNoOps, growth)
+	}
+}
+
+func TestChurnValidate(t *testing.T) {
+	cases := map[string]func(*ChurnProfile){
+		"one node":          func(p *ChurnProfile) { p.Nodes = 1 },
+		"cap below nodes":   func(p *ChurnProfile) { p.MaxNodes = p.Nodes - 1 },
+		"zero degree":       func(p *ChurnProfile) { p.Degree = 0 },
+		"degree too high":   func(p *ChurnProfile) { p.Degree = p.Nodes },
+		"no batches":        func(p *ChurnProfile) { p.Batches = 0 },
+		"empty batch":       func(p *ChurnProfile) { p.BatchSize = 0 },
+		"fractions over 1":  func(p *ChurnProfile) { p.DupFrac = 0.9 },
+		"negative fraction": func(p *ChurnProfile) { p.GrowFrac = -0.1 },
+		"protect range":     func(p *ChurnProfile) { p.Protect = []int32{int32(p.Nodes)} },
+	}
+	for name, mutate := range cases {
+		p := churnProfile()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: invalid profile accepted", name)
+		}
+	}
+	p := churnProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+}

@@ -191,6 +191,9 @@ func (st *State) bumpP(u int32, delta float64) {
 // moves on otherwise: p'(a) = α·p(a) and r(b) += (1−α)·p(a). When a
 // degree-1 node loses its last out-edge the correction is the exact
 // inverse: p'(a) = p(a)/α and r(b) −= (1−α)·p(a)/α.
+//
+// Self-loop events (a == b) take a dedicated correction path — see
+// adjustSelfLoop; the a ≠ b formulas above are not valid for them.
 func (e *Engine) AdjustEvent(st *State, ev graph.Event) {
 	a, b := ev.U, ev.V
 	if st.Dir == graph.Reverse {
@@ -215,6 +218,10 @@ func (e *Engine) adjustWithDeg(st *State, a, b int32, typ graph.EventType, d flo
 		return
 	}
 	alpha := e.Params.Alpha
+	if a == b {
+		e.adjustSelfLoop(st, a, typ, d)
+		return
+	}
 	if typ == graph.Insert {
 		if d == 1 {
 			// Sink → degree 1: of the absorbed arrivals p(a), only the
@@ -239,6 +246,53 @@ func (e *Engine) adjustWithDeg(st *State, a, b int32, typ graph.EventType, d flo
 		st.setP(a, pa)
 		st.addR(a, pa/(d*alpha))
 		st.addR(b, -(1-alpha)*pa/(d*alpha))
+	}
+}
+
+// adjustSelfLoop applies the a == b corrections for self-loop events. The
+// a ≠ b formulas of Algorithm 2 are derived for an edge whose endpoints
+// are distinct nodes; applying them verbatim to a self-loop writes the
+// estimate rescale and the addR(b,…) residue correction onto the same
+// node, which is wrong in the sink-transition cases. The exact a == b
+// corrections follow from the push identity r = e_s − p·(I − (1−α)P̃)/α
+// (P̃ is the traversal matrix with the engine's implicit self-loop at
+// dangling nodes) under the rank-1 row perturbation P̃' = P̃ + e_a(q'−q)ᵀ:
+//
+//   - insert, d == 1: a was dangling, so its effective row was already
+//     e_a; making the self-loop explicit leaves P̃ unchanged. The exact
+//     correction is a no-op — in particular the sink→degree-1 formula
+//     p'(a) = α·p(a), r(a) += (1−α)·p(a) must NOT run: it deflates the
+//     estimate by a factor α and manufactures (1−α)·p(a) of artificial
+//     residue that later pushes have to settle all over again.
+//   - delete, d == 0: the inverse transition — removing the only
+//     (self-loop) edge returns a to the implicit-self-loop convention,
+//     again leaving P̃ unchanged. No-op; the degree-1→sink formula
+//     p'(a) = p(a)/α would inflate the estimate by 1/α and create
+//     (1−α)·p(a)/α of spurious negative residue.
+//   - insert, d ≥ 2: q' = ((d−1)q + e_a)/d; choosing p'(a) = p(a)·d/(d−1)
+//     cancels the q-component and both residue terms land on a itself:
+//     Δr(a) = (p(a) − p'(a))/α + (1−α)p'(a)/(dα) = −p'(a)/d.
+//   - delete, d ≥ 1: q' = ((d+1)q − e_a)/d; p'(a) = p(a)·d/(d+1) and the
+//     mirrored algebra gives Δr(a) = +p'(a)/d.
+//
+// The combined Δr keeps the estimate/residue mass Σp + Σr invariant, so
+// check.PPRState's accounting holds across self-loop churn.
+func (e *Engine) adjustSelfLoop(st *State, a int32, typ graph.EventType, d float64) {
+	pa := st.P[a]
+	if typ == graph.Insert {
+		if d == 1 {
+			return // dangling → explicit self-loop: P̃ unchanged
+		}
+		pa *= d / (d - 1)
+		st.setP(a, pa)
+		st.addR(a, -pa/d)
+	} else {
+		if d == 0 {
+			return // explicit self-loop → dangling: P̃ unchanged
+		}
+		pa *= d / (d + 1)
+		st.setP(a, pa)
+		st.addR(a, pa/d)
 	}
 }
 
@@ -277,4 +331,3 @@ func abs(x float64) float64 {
 	}
 	return x
 }
-

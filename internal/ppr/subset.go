@@ -71,7 +71,23 @@ func NewSubsetDirs(g *graph.Graph, s []int32, params Params, fwd, rev bool) (*Su
 
 // RestoreSubset rebuilds a Subset from persisted states without running
 // any pushes (the states are taken as-is). Used by the save/load path.
+// Unlike NewSubsetDirs it receives states from an untrusted decode, so it
+// re-runs the structural checks a fresh build guarantees by construction:
+// subset ids inside the graph, one state per subset node in matching
+// order and direction, and every estimate/residue key a valid node id. A
+// corrupted save errors here instead of panicking on first use.
 func RestoreSubset(g *graph.Graph, s []int32, params Params, fwd, rev []*State) (*Subset, error) {
+	for _, v := range s {
+		if int(v) >= g.NumNodes() || v < 0 {
+			return nil, fmt.Errorf("ppr: restore: subset node %d outside graph with %d nodes", v, g.NumNodes())
+		}
+	}
+	if err := validateStates(g, s, fwd, graph.Forward); err != nil {
+		return nil, err
+	}
+	if err := validateStates(g, s, rev, graph.Reverse); err != nil {
+		return nil, err
+	}
 	sp, err := newSubsetShell(g, s, params)
 	if err != nil {
 		return nil, err
@@ -79,6 +95,41 @@ func RestoreSubset(g *graph.Graph, s []int32, params Params, fwd, rev []*State) 
 	sp.Fwd = fwd
 	sp.Rev = rev
 	return sp, nil
+}
+
+// validateStates checks one direction's restored state slice against the
+// subset and the graph. A nil slice is valid (direction disabled).
+func validateStates(g *graph.Graph, s []int32, states []*State, dir graph.Direction) error {
+	if states == nil {
+		return nil
+	}
+	if len(states) != len(s) {
+		return fmt.Errorf("ppr: restore: %d %v states for a subset of %d nodes", len(states), dir, len(s))
+	}
+	n := int32(g.NumNodes())
+	for i, st := range states {
+		switch {
+		case st == nil:
+			return fmt.Errorf("ppr: restore: nil %v state for subset node %d", dir, s[i])
+		case st.Source != s[i]:
+			return fmt.Errorf("ppr: restore: %v state %d has source %d, want subset node %d", dir, i, st.Source, s[i])
+		case st.Dir != dir:
+			return fmt.Errorf("ppr: restore: state for subset node %d has direction %v, want %v", s[i], st.Dir, dir)
+		case st.P == nil || st.R == nil:
+			return fmt.Errorf("ppr: restore: %v state for subset node %d has nil maps", dir, s[i])
+		}
+		for u := range st.P {
+			if u < 0 || u >= n {
+				return fmt.Errorf("ppr: restore: estimate key %d of source %d outside graph with %d nodes", u, st.Source, n)
+			}
+		}
+		for u := range st.R {
+			if u < 0 || u >= n {
+				return fmt.Errorf("ppr: restore: residue key %d of source %d outside graph with %d nodes", u, st.Source, n)
+			}
+		}
+	}
+	return nil
 }
 
 // newSubsetShell allocates the shared engine and per-worker scratch engines.

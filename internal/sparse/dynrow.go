@@ -286,6 +286,114 @@ func (m *DynRow) FrobNorm() float64 {
 	return math.Sqrt(f)
 }
 
+// BaselineBlockCSR reconstructs block j as it stood at its last rebuild
+// (the baseline the delta bookkeeping measures against): live entries,
+// with every entry touched since the rebuild restored to its recorded
+// baseline value (a zero baseline means the entry did not exist then).
+// Used by the correctness harness to re-factor a block at its recorded
+// seed and compare against the cached factorization.
+func (m *DynRow) BaselineBlockCSR(j int) *CSR {
+	lo, hi := m.BlockRange(j)
+	rows := make([]map[int32]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		if blk := m.data[r][j]; len(blk) > 0 {
+			mm := make(map[int32]float64, len(blk))
+			for c, v := range blk {
+				mm[c] = v
+			}
+			rows[r] = mm
+		}
+	}
+	for key, bv := range m.base[j] {
+		r, c := int(key>>32), int32(key)
+		if rows[r] == nil {
+			rows[r] = make(map[int32]float64)
+		}
+		if bv == 0 {
+			delete(rows[r], c)
+		} else {
+			rows[r][c] = bv
+		}
+	}
+	out := &CSR{Rows: m.rows, Cols: hi - lo, RowPtr: make([]int32, m.rows+1)}
+	cols := make([]int32, 0, 64)
+	for r := 0; r < m.rows; r++ {
+		if len(rows[r]) > 0 {
+			cols = cols[:0]
+			for c := range rows[r] {
+				cols = append(cols, c)
+			}
+			sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+			for _, c := range cols {
+				out.ColIdx = append(out.ColIdx, c-int32(lo))
+				out.Val = append(out.Val, rows[r][c])
+			}
+		}
+		out.RowPtr[r+1] = int32(len(out.Val))
+	}
+	return out
+}
+
+// AuditRecount verifies the incrementally maintained bookkeeping against
+// an exact recount: per-block squared Frobenius norm, squared delta norm,
+// nnz counters, baseline key validity, and the no-stored-zero/no-NaN
+// storage invariants. Floating-point accumulators are compared within a
+// scale-aware tolerance; the integer counters must match exactly. O(nnz),
+// intended for the correctness harness and debug builds, not hot paths.
+func (m *DynRow) AuditRecount() error {
+	const tol = 1e-7
+	total := 0
+	for j := 0; j < m.nblocks; j++ {
+		lo, hi := m.BlockRange(j)
+		var frob float64
+		nnz := 0
+		for r := 0; r < m.rows; r++ {
+			for c, v := range m.data[r][j] {
+				switch {
+				case int(c) < lo || int(c) >= hi:
+					return fmt.Errorf("sparse: audit: entry (%d,%d) stored in block %d [%d,%d)", r, c, j, lo, hi)
+				case v == 0:
+					return fmt.Errorf("sparse: audit: stored zero at (%d,%d)", r, c)
+				case math.IsNaN(v) || math.IsInf(v, 0):
+					return fmt.Errorf("sparse: audit: non-finite value %g at (%d,%d)", v, r, c)
+				}
+				frob += v * v
+				nnz++
+			}
+		}
+		var delta float64
+		for key, bv := range m.base[j] {
+			r, c := int(key>>32), int(int32(key))
+			if r < 0 || r >= m.rows || c < lo || c >= hi {
+				return fmt.Errorf("sparse: audit: baseline key (%d,%d) outside block %d of %d×%d", r, c, j, m.rows, m.cols)
+			}
+			d := m.Get(r, c) - bv
+			delta += d * d
+		}
+		if nnz != m.nnz[j] {
+			return fmt.Errorf("sparse: audit: block %d nnz counter %d, recount %d", j, m.nnz[j], nnz)
+		}
+		if got := m.frobSq[j]; abs(got-frob) > tol*(1+frob) {
+			return fmt.Errorf("sparse: audit: block %d frobSq drifted: maintained %g, recount %g", j, got, frob)
+		}
+		if got := m.deltaSq[j]; abs(got-delta) > tol*(1+delta) {
+			return fmt.Errorf("sparse: audit: block %d deltaSq drifted: maintained %g, recount %g", j, got, delta)
+		}
+		total += nnz
+	}
+	if total != m.totalNNZ {
+		return fmt.Errorf("sparse: audit: total nnz counter %d, recount %d", m.totalNNZ, total)
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // ToDense materializes densely (tests only).
 func (m *DynRow) ToDense() *linalg.Dense {
 	out := linalg.NewDense(m.rows, m.cols)

@@ -59,6 +59,35 @@ func Load(r io.Reader) (*Embedder, error) {
 	if saved.Version != persistVersion {
 		return nil, fmt.Errorf("treesvd: save format version %d, want %d", saved.Version, persistVersion)
 	}
+	// Structural validation of the decoded state: gob only guarantees the
+	// wire types, not that the pieces agree with each other. Check the
+	// cross-field invariants New establishes before wiring anything
+	// together, so a truncated or hand-edited save errors here instead of
+	// panicking on first use. RestoreSubset and RestoreTree re-check their
+	// own pieces (state shapes, tree cache dims) below.
+	switch {
+	case saved.Graph == nil:
+		return nil, fmt.Errorf("treesvd: corrupt save: missing graph")
+	case saved.M == nil:
+		return nil, fmt.Errorf("treesvd: corrupt save: missing proximity matrix")
+	case saved.Tree == nil:
+		return nil, fmt.Errorf("treesvd: corrupt save: missing tree snapshot")
+	case len(saved.Subset) == 0:
+		return nil, fmt.Errorf("treesvd: corrupt save: empty subset")
+	case saved.M.Rows() != len(saved.Subset):
+		return nil, fmt.Errorf("treesvd: corrupt save: proximity matrix has %d rows for a subset of %d nodes",
+			saved.M.Rows(), len(saved.Subset))
+	case saved.M.Cols() < saved.Graph.NumNodes():
+		return nil, fmt.Errorf("treesvd: corrupt save: proximity matrix %d columns narrower than the %d-node graph",
+			saved.M.Cols(), saved.Graph.NumNodes())
+	}
+	seen := make(map[int32]bool, len(saved.Subset))
+	for _, v := range saved.Subset {
+		if seen[v] {
+			return nil, fmt.Errorf("treesvd: corrupt save: duplicate subset node %d", v)
+		}
+		seen[v] = true
+	}
 	cfg, err := saved.Config.withDefaults()
 	if err != nil {
 		return nil, err

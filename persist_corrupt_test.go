@@ -1,0 +1,103 @@
+package treesvd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// corruptSave builds a healthy embedder, decodes its save into the wire
+// struct, lets mutate corrupt it, and re-encodes. The result is a
+// structurally valid gob stream carrying inconsistent state — exactly
+// what a hand-edited or partially overwritten save file looks like.
+func corruptSave(t *testing.T, mutate func(*savedEmbedder)) *bytes.Reader {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	g := buildGraph(rng, 30, 120)
+	emb, err := New(g, []int32{1, 3, 5, 7}, Config{Dim: 4, MaxNodes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustTB(emb.ApplyEvents(bgt, []Event{{U: 0, V: 9, Type: Insert}, {U: 2, V: 11, Type: Insert}}))
+	var buf bytes.Buffer
+	if err := emb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var saved savedEmbedder
+	if err := gob.NewDecoder(&buf).Decode(&saved); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&saved)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&saved); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(out.Bytes())
+}
+
+// TestLoadRejectsCorruptedSaves is the ISSUE 3 regression for Load
+// trusting its input: each corruption used to slip through Load and
+// panic on first use (or corrupt results silently). All must now be
+// rejected at Load with a descriptive error.
+func TestLoadRejectsCorruptedSaves(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*savedEmbedder)
+		wantSub string // substring expected in the error
+	}{
+		{"subset id out of range", func(s *savedEmbedder) { s.Subset[0] = 999 }, "subset node 999"},
+		{"negative subset id", func(s *savedEmbedder) { s.Subset[1] = -2 }, "subset node -2"},
+		{"duplicate subset ids", func(s *savedEmbedder) { s.Subset[1] = s.Subset[0] }, "duplicate subset node"},
+		{"missing graph", func(s *savedEmbedder) { s.Graph = nil }, "missing graph"},
+		{"missing proximity matrix", func(s *savedEmbedder) { s.M = nil }, "missing proximity"},
+		{"missing tree snapshot", func(s *savedEmbedder) { s.Tree = nil }, "missing tree"},
+		{"empty subset", func(s *savedEmbedder) { s.Subset = nil }, "empty subset"},
+		{"forward state count mismatch", func(s *savedEmbedder) { s.Fwd = s.Fwd[:2] }, "states for a subset"},
+		{"state source mismatch", func(s *savedEmbedder) { s.Fwd[0], s.Fwd[1] = s.Fwd[1], s.Fwd[0] }, "source"},
+		{"state direction mismatch", func(s *savedEmbedder) { s.Rev[0] = s.Fwd[0] }, "direction"},
+		{"estimate key out of range", func(s *savedEmbedder) { s.Fwd[0].P[500] = 0.1 }, "estimate key 500"},
+		{"residue key out of range", func(s *savedEmbedder) { s.Rev[1].R[-3] = 0.1 }, "residue key -3"},
+		{"tree block count mismatch", func(s *savedEmbedder) {
+			s.Tree.Level1US = s.Tree.Level1US[:1]
+			s.Tree.Level1Tail = s.Tree.Level1Tail[:1]
+		}, "level-1 blocks"},
+		{"tail/cache length mismatch", func(s *savedEmbedder) { s.Tree.Level1Tail = s.Tree.Level1Tail[:1] }, "tail energies"},
+		{"built without root", func(s *savedEmbedder) { s.Tree.RootU = nil }, "without a root"},
+		{"root rank mismatch", func(s *savedEmbedder) { s.Tree.RootS = s.Tree.RootS[:1] }, "singular values"},
+		{"version mismatch", func(s *savedEmbedder) { s.Version = 99 }, "version 99"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(corruptSave(t, tc.mutate))
+			if err == nil {
+				t.Fatal("Load accepted the corrupted save")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestLoadRejectsTruncatedStream: a save cut off mid-stream must fail at
+// decode, never produce a half-restored embedder.
+func TestLoadRejectsTruncatedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := buildGraph(rng, 20, 80)
+	emb, err := New(g, []int32{0, 1, 2}, Config{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, frac := range []int{4, 2} {
+		if _, err := Load(bytes.NewReader(raw[:len(raw)/frac])); err == nil {
+			t.Errorf("Load accepted a stream truncated to 1/%d", frac)
+		}
+	}
+}

@@ -27,6 +27,11 @@ type Snapshot struct {
 	m       *sparse.CSR // proximity matrix frozen at publish time
 	outNbrs map[int32][]int32
 	stats   Stats
+	// numNodes is the graph's node count at publish time. The right
+	// embedding is MaxNodes rows wide, so candidate iteration must stop
+	// here: rows past it are zero-score placeholders for ids that did not
+	// exist yet (ISSUE 3, ghost recommendations).
+	numNodes int
 
 	// y is the right embedding Ṽ√Σ, materialized at most once per
 	// snapshot on first use and reused by every later RightEmbedding/
@@ -47,6 +52,13 @@ func (s *Snapshot) Subset() []int32 { return append([]int32(nil), s.subset...) }
 // Stats returns the factorization work counters of the update that
 // published this snapshot.
 func (s *Snapshot) Stats() Stats { return s.stats }
+
+// NumNodes returns the graph's node count as of this snapshot's version.
+func (s *Snapshot) NumNodes() int { return s.numNodes }
+
+// Spectrum returns the singular values of this snapshot's root
+// factorization, descending (a copy; the snapshot stays immutable).
+func (s *Snapshot) Spectrum() []float64 { return append([]float64(nil), s.root.S...) }
 
 // Embedding returns the |S|×d subset embedding X = U√Σ of this snapshot
 // as a row-major matrix: row i embeds Subset()[i].
@@ -105,8 +117,10 @@ func (h *recHeap) Pop() interface{} {
 
 // Recommend returns the top-k candidate targets for subset node s, ranked
 // by the factorization score dot(X[s], Y[v]) — the paper's motivating
-// application. Node s itself and its out-neighbors as of this snapshot's
-// version are excluded. Results are ordered by descending score, ties by
+// application. Candidates are the nodes that exist as of this snapshot's
+// version (ids the MaxNodes headroom reserves but the graph has not
+// reached yet are never returned); node s itself and its out-neighbors
+// are excluded. Results are ordered by descending score, ties by
 // ascending node id. It returns an error if s is not in the subset.
 func (s *Snapshot) Recommend(src int32, k int) ([]Recommendation, error) {
 	row, ok := s.rowOf[src]
@@ -127,7 +141,10 @@ func (s *Snapshot) Recommend(src int32, k int) ([]Recommendation, error) {
 		exclude[v] = true
 	}
 	top := make(recHeap, 0, k)
-	for v := 0; v < y.Rows; v++ {
+	// y has MaxNodes rows; only the first numNodes are real nodes of this
+	// snapshot's graph — the rest would surface as zero-score ghosts.
+	limit := min(y.Rows, s.numNodes)
+	for v := 0; v < limit; v++ {
 		if exclude[int32(v)] {
 			continue
 		}
@@ -171,13 +188,14 @@ func (e *Embedder) publishLocked() {
 	}
 	ts := e.tree.Stats()
 	e.snap.Store(&Snapshot{
-		version: e.version.Add(1),
-		subset:  e.subset,
-		rowOf:   e.rowOf,
-		x:       root.USqrtS(),
-		root:    root,
-		m:       e.prox.M.ToCSR(),
-		outNbrs: nbrs,
-		stats:   Stats{Level1Rebuilt: ts.Level1Rebuilt, Skipped: ts.Skipped, UpperRebuilt: ts.UpperRebuilt},
+		version:  e.version.Add(1),
+		subset:   e.subset,
+		rowOf:    e.rowOf,
+		x:        root.USqrtS(),
+		root:     root,
+		m:        e.prox.M.ToCSR(),
+		outNbrs:  nbrs,
+		stats:    Stats{Level1Rebuilt: ts.Level1Rebuilt, Skipped: ts.Skipped, UpperRebuilt: ts.UpperRebuilt},
+		numNodes: g.NumNodes(),
 	})
 }

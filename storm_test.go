@@ -1,0 +1,68 @@
+package treesvd
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/check"
+)
+
+// TestSnapshotImmutableUnderStorm pins one published snapshot, hashes its
+// complete observable state (X, Y, root spectrum) with the harness
+// fingerprint, then hammers the embedder with an update storm while
+// concurrent readers keep materializing the pinned snapshot's right
+// embedding. The fingerprint afterwards must be bit-for-bit identical:
+// published versions never change, no matter what happens to the pipeline
+// that produced them. Run with -race.
+func TestSnapshotImmutableUnderStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const n = 60
+	g := buildGraph(rng, n, 240)
+	subset := []int32{1, 4, 8, 15, 16, 23}
+	emb := mustTB(New(g, subset, Config{Dim: 8, RMax: 1e-3, MaxNodes: n + 8, Workers: 2}))
+
+	pinned := emb.Snapshot()
+	before := check.Snapshot(pinned.Embedding(), pinned.RightEmbedding(), pinned.Spectrum())
+	wantNodes := pinned.NumNodes()
+
+	batches := make([][]Event, 8)
+	for i := range batches {
+		batches[i] = insertBatch(rng, n, 20)
+	}
+	// One batch grows the graph so later snapshots see more nodes than the
+	// pinned one — its NumNodes must not move with them.
+	batches[3] = append(batches[3], Event{U: 0, V: int32(n), Type: Insert})
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := check.Snapshot(pinned.Embedding(), pinned.RightEmbedding(), pinned.Spectrum()); got != before {
+					t.Errorf("pinned snapshot changed mid-storm: fingerprint %x, want %x", got, before)
+					return
+				}
+			}
+		}()
+	}
+	ctx := context.Background()
+	for i, b := range batches {
+		if _, err := emb.ApplyEvents(ctx, b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	if after := check.Snapshot(pinned.Embedding(), pinned.RightEmbedding(), pinned.Spectrum()); after != before {
+		t.Fatalf("pinned snapshot mutated by update storm: fingerprint %x, want %x", after, before)
+	}
+	if pinned.NumNodes() != wantNodes {
+		t.Fatalf("pinned snapshot's node count moved: %d, want %d", pinned.NumNodes(), wantNodes)
+	}
+	if fresh := emb.Snapshot(); fresh.NumNodes() != n+1 {
+		t.Fatalf("fresh snapshot sees %d nodes, want %d", fresh.NumNodes(), n+1)
+	}
+}

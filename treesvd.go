@@ -38,6 +38,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/tree-svd/treesvd/internal/check"
 	"github.com/tree-svd/treesvd/internal/core"
 	"github.com/tree-svd/treesvd/internal/graph"
 	"github.com/tree-svd/treesvd/internal/ppr"
@@ -83,9 +84,23 @@ type Config struct {
 	Delta float64
 	// MaxNodes bounds node ids the graph will ever reach. 0 means "the
 	// graph's current size"; set it when the stream will grow the graph.
+	//
+	// Contract: the proximity matrix and the right embedding are allocated
+	// max(MaxNodes, g.NumNodes()) columns wide at New and never grow.
+	// ApplyEvents validates every batch against that capacity up front and
+	// rejects it with a *NodeRangeError — before mutating the graph or any
+	// estimate — when an event references a node id at or beyond it.
 	MaxNodes int
 	// Seed drives the randomized factorization (default 1).
 	Seed int64
+	// SelfCheck runs the internal/check invariant auditors (PPR push
+	// invariant and mass accounting, proximity-matrix bookkeeping recount,
+	// tree cache shapes) after every ApplyEvents/Rebuild, before the new
+	// snapshot is published. A failed audit aborts the update with a
+	// descriptive error, keeps the previous snapshot readable, and routes
+	// the next update through the full-rebuild recovery path. Costs an
+	// extra O(nnz) pass per update — a debugging aid, not for production.
+	SelfCheck bool
 	// Workers parallelizes per-source PPR work and per-block
 	// factorizations (0 or 1 = sequential). Results are identical for any
 	// worker count.
@@ -244,6 +259,10 @@ func (e *Embedder) Subset() []int32 { return append([]int32(nil), e.subset...) }
 // larger than 1/r_max events is handled by recomputing the PPR states
 // from scratch instead of replaying each event — the incremental path
 // would cost more than a fresh push per source.
+//
+// A batch containing an event whose node id is negative or at/beyond the
+// embedder's capacity (see Config.MaxNodes) is rejected whole with a
+// *NodeRangeError before any state is mutated.
 func (e *Embedder) ApplyEvents(ctx context.Context, events []Event) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -252,6 +271,19 @@ func (e *Embedder) ApplyEvents(ctx context.Context, events []Event) (int, error)
 	defer e.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return 0, err
+	}
+	// Validate the whole batch against the fixed proximity width before
+	// touching anything: an oversized node id used to grow the graph and
+	// then panic deep inside the proximity refresh, after the graph had
+	// already advanced past the estimates.
+	capacity := e.prox.M.Cols()
+	for i, ev := range events {
+		if ev.U < 0 || int(ev.U) >= capacity {
+			return 0, &NodeRangeError{Index: i, Node: ev.U, MaxNodes: capacity}
+		}
+		if ev.V < 0 || int(ev.V) >= capacity {
+			return 0, &NodeRangeError{Index: i, Node: ev.V, MaxNodes: capacity}
+		}
 	}
 	if e.stale || e.prox.Sub.RebuildThreshold(len(events)) {
 		// Large batch (the Theorem 3.7 fallback) or recovery from an
@@ -275,6 +307,9 @@ func (e *Embedder) ApplyEvents(ctx context.Context, events []Event) (int, error)
 		// The tree commit is transactional: its caches and the DynRow
 		// baselines are untouched, so the violating blocks re-trigger on
 		// the next update. No stale flag needed.
+		return 0, err
+	}
+	if err := e.selfCheckLocked(); err != nil {
 		return 0, err
 	}
 	e.publishLocked()
@@ -303,8 +338,67 @@ func (e *Embedder) Rebuild(ctx context.Context) error {
 	if err := e.tree.Build(ctx); err != nil {
 		return err
 	}
+	if err := e.selfCheckLocked(); err != nil {
+		return err
+	}
 	e.publishLocked()
 	return nil
+}
+
+// selfCheckLocked runs the invariant auditors when Config.SelfCheck is
+// set. On failure the update is aborted before publishing and the stale
+// flag routes the next update through full-rebuild recovery — the
+// corrupted internal state is never served. Caller holds e.mu.
+func (e *Embedder) selfCheckLocked() error {
+	if !e.cfg.SelfCheck {
+		return nil
+	}
+	if err := e.auditLocked(); err != nil {
+		e.stale = true
+		return fmt.Errorf("treesvd: self-check: %w", err)
+	}
+	return nil
+}
+
+// auditLocked runs the cheap internal/check auditors over every pipeline
+// layer. Caller holds e.mu.
+func (e *Embedder) auditLocked() error {
+	if err := check.PPRSubset(e.prox.Sub); err != nil {
+		return err
+	}
+	if err := check.DynRow(e.prox.M); err != nil {
+		return err
+	}
+	return check.Tree(e.tree)
+}
+
+// Audit verifies the pipeline's internal invariants (PPR push invariant
+// and mass accounting, proximity bookkeeping recount, tree cache shapes)
+// and returns the first violation, or nil when everything is consistent.
+// It takes the update lock, so it is safe to call concurrently with
+// updates. See Config.SelfCheck for running it automatically.
+func (e *Embedder) Audit() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.auditLocked()
+}
+
+// ReconstructionError returns ‖U·Σ·Ṽ − M‖_F of the current factorization
+// against the live proximity matrix — the observable counterpart of the
+// Theorem 3.2 approximation guarantee. It takes the update lock.
+func (e *Embedder) ReconstructionError() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tree.ReconstructionError()
+}
+
+// ProximityFrobNorm returns ‖M‖_F of the live proximity matrix, the
+// scale against which the Theorem 3.2/3.7 error bounds are stated. It
+// takes the update lock.
+func (e *Embedder) ProximityFrobNorm() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.prox.M.FrobNorm()
 }
 
 // Snapshot returns the currently published immutable snapshot. Safe from
