@@ -1,7 +1,8 @@
 # Tree-SVD developer targets. `make ci` is the full gate: vet, build,
 # tests, the race-detector pass over the concurrency-sensitive packages
-# (the public facade and everything under internal/), and the short-mode
-# differential fuzz of the correctness harness.
+# (the public facade and everything under internal/), the short-mode
+# differential fuzz of the correctness harness, and the fault-injection
+# crash matrix of the durable wrapper.
 
 GO ?= go
 
@@ -9,9 +10,9 @@ GO ?= go
 # driven through the differential harness (internal/check).
 SEEDS ?= 16
 
-.PHONY: ci vet build test race differential fuzz bench bench-kernels fmt
+.PHONY: ci vet build test race differential crash fuzz bench bench-kernels bench-recovery fmt
 
-ci: vet build test race differential
+ci: vet build test race differential crash
 
 vet:
 	$(GO) vet ./...
@@ -26,13 +27,21 @@ race:
 	$(GO) test -race ./internal/... .
 
 # Differential correctness harness at the default seed count, under the
-# race detector — the CI gate for the dynamic path.
+# race detector — the CI gate for the dynamic path. Includes the
+# crash-recovery leg (fault injection mid-stream, reopen, track shadow).
 differential:
-	$(GO) test -race -run TestDifferential -count=1 ./internal/check
+	$(GO) test -race -run 'TestDifferential|TestCrashRecoveryDifferential' -count=1 ./internal/check
+
+# Fault-injection gate: the scripted crash-point matrix over the durable
+# wrapper (every filesystem operation killed once, per failure mode) plus
+# the faultfs harness's own tests.
+crash:
+	$(GO) test -run TestCrashPointMatrix -count=1 .
+	$(GO) test -count=1 ./internal/faultfs ./internal/wal
 
 # Configurable-depth fuzz: make fuzz SEEDS=64
 fuzz:
-	TREESVD_FUZZ_SEEDS=$(SEEDS) $(GO) test -run TestDifferential -count=1 -v ./internal/check
+	TREESVD_FUZZ_SEEDS=$(SEEDS) $(GO) test -run 'TestDifferential|TestCrashRecoveryDifferential' -count=1 -v ./internal/check
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 50x .
@@ -41,6 +50,12 @@ bench:
 # linear-algebra kernel across worker budgets (see internal/linalg/bench_test.go).
 bench-kernels:
 	BENCH_KERNELS_OUT=$(CURDIR)/BENCH_KERNELS.json $(GO) test -run TestEmitKernelBench -v ./internal/linalg
+
+# Emits BENCH_RECOVERY.json: checkpoint commit cost, WAL append overhead
+# per fsync policy (acceptance: <10% at fsync=batch), and cold-start
+# replay time vs WAL length (see recovery_bench_test.go).
+bench-recovery:
+	BENCH_RECOVERY_OUT=$(CURDIR)/BENCH_RECOVERY.json $(GO) test -run TestEmitRecoveryBench -count=1 -v .
 
 fmt:
 	gofmt -l .

@@ -60,12 +60,7 @@ func main() {
 	var emb *treesvd.Embedder
 	var subset []int32
 	if *loadFrom != "" {
-		sf, err := os.Open(*loadFrom)
-		if err != nil {
-			fail(err)
-		}
-		emb, err = treesvd.Load(bufio.NewReader(sf))
-		sf.Close()
+		emb, err = treesvd.LoadFile(*loadFrom)
 		if err != nil {
 			fail(err)
 		}
@@ -108,18 +103,11 @@ func main() {
 		writeSnapshot(*out, t, subset, emb.Embedding())
 	}
 	if *saveTo != "" {
-		sf, err := os.Create(*saveTo)
-		if err != nil {
+		// SaveFile publishes atomically: a crash mid-save leaves any
+		// previous state file intact instead of a torn one.
+		if err := emb.SaveFile(*saveTo); err != nil {
 			fail(err)
 		}
-		w := bufio.NewWriter(sf)
-		if err := emb.Save(w); err != nil {
-			fail(err)
-		}
-		if err := w.Flush(); err != nil {
-			fail(err)
-		}
-		sf.Close()
 		fmt.Printf("state saved to %s\n", *saveTo)
 	}
 }

@@ -1,0 +1,516 @@
+package treesvd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/tree-svd/treesvd/internal/wal"
+)
+
+// SyncPolicy selects when the durable embedder fsyncs WAL appends; see
+// the DurableConfig.Sync field.
+type SyncPolicy int
+
+const (
+	// SyncBatch fsyncs once per ApplyEvents: every batch the call
+	// acknowledges survives any crash. The default, and the policy the
+	// <10%-overhead acceptance benchmark is stated against.
+	SyncBatch SyncPolicy = iota
+	// SyncInterval fsyncs every SyncEvery batches: a crash can lose up to
+	// SyncEvery-1 acknowledged batches, but never corrupts state.
+	SyncInterval
+	// SyncNone never fsyncs on append; the OS decides when data reaches
+	// the disk. A crash loses whatever the page cache held, never more
+	// than since the last checkpoint.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string { return wal.SyncPolicy(p).String() }
+
+// ErrNoState is returned by Open when the directory holds no durable
+// state (no checkpoint was ever committed there). Use Create to start a
+// new store.
+var ErrNoState = errors.New("treesvd: no durable state in directory")
+
+// errClosed reports use after Close.
+var errClosed = errors.New("treesvd: durable embedder is closed")
+
+// DurableConfig configures a durable embedder. The zero value is usable:
+// per-batch fsync, a checkpoint every 64 batches, two checkpoints kept.
+type DurableConfig struct {
+	// Config configures the embedder itself (only used by Create;
+	// Open restores the configuration stored in the checkpoint).
+	Config Config
+	// Sync is the WAL fsync policy; SyncEvery is the period of
+	// SyncInterval (default 8).
+	Sync      SyncPolicy
+	SyncEvery int
+	// SegmentSize rotates the WAL to a new segment file past this many
+	// bytes (default 4 MiB).
+	SegmentSize int64
+	// CheckpointEvery takes a checkpoint after this many applied batches
+	// (default 64); negative disables automatic checkpoints (use the
+	// Checkpoint method).
+	CheckpointEvery int
+	// KeepCheckpoints retains this many committed checkpoints (default 2,
+	// minimum 1). Keeping more than one lets recovery fall back past a
+	// checkpoint that fails verification; the WAL is pruned only up to the
+	// oldest kept checkpoint so the fallback can always be replayed
+	// forward.
+	KeepCheckpoints int
+	// SyncCheckpoints takes checkpoints synchronously inside ApplyEvents
+	// instead of in a background goroutine. Deterministic and slower; the
+	// fault-injection harness depends on it.
+	SyncCheckpoints bool
+	// StrictRecovery makes Open fail with a *CorruptStateError on any WAL
+	// damage beyond a pure torn tail (a crash artifact). By default such
+	// damage degrades the log to its longest verifiable prefix and is
+	// reported in RecoveryInfo instead.
+	StrictRecovery bool
+}
+
+func (c DurableConfig) withDefaults() DurableConfig {
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.KeepCheckpoints < 1 {
+		c.KeepCheckpoints = 2
+	}
+	return c
+}
+
+func (c DurableConfig) walOptions() wal.Options {
+	return wal.Options{
+		SegmentSize: c.SegmentSize,
+		Sync:        wal.SyncPolicy(c.Sync),
+		SyncEvery:   c.SyncEvery,
+	}
+}
+
+// RecoveryInfo reports what Open found and repaired.
+type RecoveryInfo struct {
+	// CheckpointSeq is the batch seq of the checkpoint the state was
+	// restored from; SkippedCheckpoints counts newer checkpoints that
+	// failed verification and were bypassed.
+	CheckpointSeq      uint64
+	SkippedCheckpoints int
+	// ReplayedBatches counts WAL batches folded in on top of the
+	// checkpoint.
+	ReplayedBatches int
+	// TornTail is set when a physically incomplete record at the end of
+	// the log was truncated — the normal artifact of a crash mid-append.
+	TornTail bool
+	// DroppedBatches counts batches discarded because of WAL damage beyond
+	// a torn tail (lenient recovery only); DropReason describes the fault.
+	DroppedBatches int
+	DropReason     string
+}
+
+// DurableEmbedder wraps an Embedder with write-ahead logging and
+// crash-safe checkpointing in a single directory. Every ApplyEvents batch
+// is appended to the WAL — checksummed and fsynced per the configured
+// policy — before it mutates any in-memory state, and a checkpoint (a
+// full atomic save) is committed every CheckpointEvery batches, after
+// which older WAL segments are pruned. Open recovers the directory to a
+// committed prefix of the acknowledged stream no matter where a previous
+// process stopped.
+//
+// Route every update through the DurableEmbedder; calling ApplyEvents or
+// Rebuild directly on the wrapped Embedder would mutate state the log
+// knows nothing about. Reads (Embedding, Snapshot, Recommend, ...) go to
+// the wrapped Embedder and stay lock-free.
+type DurableEmbedder struct {
+	fs  wal.FS
+	dir string
+	cfg DurableConfig
+
+	mu     sync.Mutex // serializes updates; ordered before e.mu
+	e      *Embedder
+	w      *wal.Writer
+	closed bool
+	// pending is a batch that reached the WAL but whose in-memory apply
+	// failed (cancellation, self-check). It must be re-applied before
+	// anything else so memory never falls behind the log; edge events are
+	// set operations, so re-applying a partially applied batch in order is
+	// idempotent.
+	pending   []Event
+	sinceCkpt int
+
+	ckptWG   sync.WaitGroup
+	ckptMu   sync.Mutex // guards the fields below; never held with mu
+	ckptBusy bool
+	ckptErr  error
+
+	recovery RecoveryInfo
+}
+
+// Create initializes a new durable embedder in dir: it builds the initial
+// state with New(g, subset, cfg.Config), commits it as the first
+// checkpoint, and opens the WAL. It fails if dir already holds durable
+// state.
+func Create(dir string, g *Graph, subset []int32, cfg DurableConfig) (*DurableEmbedder, error) {
+	return createDurable(wal.OS, dir, g, subset, cfg)
+}
+
+// Open recovers the durable embedder stored in dir: it restores the
+// newest checkpoint that verifies (falling back past corrupt ones),
+// repairs the WAL tail, replays every logged batch past the checkpoint,
+// audits the result with the internal invariant checkers, and only then
+// publishes the first readable snapshot. It returns ErrNoState when dir
+// was never initialized with Create, and a *CorruptStateError when the
+// store cannot be brought to a verified state.
+func Open(dir string, cfg DurableConfig) (*DurableEmbedder, error) {
+	return openDurable(wal.OS, dir, cfg)
+}
+
+// CreateWithFS is Create on an explicit filesystem. It exists for the
+// internal fault-injection harness — the FS type lives in an internal
+// package, so code outside this module cannot supply one; use Create.
+func CreateWithFS(fsys wal.FS, dir string, g *Graph, subset []int32, cfg DurableConfig) (*DurableEmbedder, error) {
+	return createDurable(fsys, dir, g, subset, cfg)
+}
+
+// OpenWithFS is Open on an explicit filesystem; see CreateWithFS.
+func OpenWithFS(fsys wal.FS, dir string, cfg DurableConfig) (*DurableEmbedder, error) {
+	return openDurable(fsys, dir, cfg)
+}
+
+func createDurable(fsys wal.FS, dir string, g *Graph, subset []int32, cfg DurableConfig) (*DurableEmbedder, error) {
+	cfg = cfg.withDefaults()
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	if has, err := wal.HasState(fsys, dir); err != nil {
+		return nil, err
+	} else if has {
+		return nil, fmt.Errorf("treesvd: directory %s already holds durable state", dir)
+	}
+	e, err := New(g, subset, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := e.saveBytes()
+	if err != nil {
+		return nil, err
+	}
+	// Batches are numbered from 1; checkpoint seq 0 is "nothing applied
+	// beyond the initial build".
+	if err := wal.WriteCheckpoint(fsys, dir, 0, payload); err != nil {
+		return nil, err
+	}
+	w, err := wal.NewWriter(fsys, dir, 1, cfg.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &DurableEmbedder{fs: fsys, dir: dir, cfg: cfg, e: e, w: w}, nil
+}
+
+func openDurable(fsys wal.FS, dir string, cfg DurableConfig) (*DurableEmbedder, error) {
+	cfg = cfg.withDefaults()
+	cks, err := wal.ListCheckpoints(fsys, dir)
+	if err != nil {
+		// A directory that does not exist holds no state; a consumer
+		// probing "is there a store yet?" sees ErrNoState either way.
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNoState, dir)
+		}
+		return nil, err
+	}
+	if len(cks) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoState, dir)
+	}
+
+	// Newest checkpoint that verifies and decodes wins; corrupt ones are
+	// bypassed. The WAL is only ever pruned up to the oldest kept
+	// checkpoint, so every batch a fallback needs is still logged.
+	var (
+		e       *Embedder
+		ckSeq   uint64
+		skipped int
+		lastErr error
+	)
+	for i := len(cks) - 1; i >= 0 && e == nil; i-- {
+		seq, payload, err := wal.ReadCheckpoint(fsys, dir, cks[i].Name)
+		if err == nil {
+			var cand *Embedder
+			if cand, err = decodeEmbedder(payload, filepath.Join(dir, cks[i].Name)); err == nil {
+				e, ckSeq = cand, seq
+				break
+			}
+		}
+		var corrupt *CorruptStateError
+		if !errors.As(err, &corrupt) && !isWALCorrupt(err) {
+			return nil, err // I/O failure, not damage — don't mask it
+		}
+		skipped++
+		lastErr = asCorruptState(err)
+	}
+	if e == nil {
+		return nil, lastErr
+	}
+
+	rec, err := wal.Recover(fsys, dir, cfg.StrictRecovery)
+	if err != nil {
+		return nil, asCorruptState(err)
+	}
+	if err := wal.RemoveTempFiles(fsys, dir); err != nil {
+		return nil, err
+	}
+
+	info := RecoveryInfo{
+		CheckpointSeq:      ckSeq,
+		SkippedCheckpoints: skipped,
+		TornTail:           rec.TornTail,
+		DroppedBatches:     rec.Dropped,
+		DropReason:         rec.DropReason,
+	}
+	ctx := context.Background()
+	next := ckSeq + 1
+	e.mu.Lock()
+	for _, r := range rec.Records {
+		if r.Seq <= ckSeq {
+			continue // already folded into the checkpoint
+		}
+		if r.Seq != next {
+			e.mu.Unlock()
+			return nil, &CorruptStateError{Path: dir, Offset: -1,
+				Reason: fmt.Sprintf("log resumes at batch %d after checkpoint %d: missing batches", r.Seq, ckSeq)}
+		}
+		events, err := wal.DecodeEvents(r.Payload)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, &CorruptStateError{Path: dir, Offset: -1,
+				Reason: fmt.Sprintf("logged batch %d does not decode", r.Seq), Err: err}
+		}
+		if _, err := e.applyEventsLocked(ctx, events, false); err != nil {
+			e.mu.Unlock()
+			return nil, &CorruptStateError{Path: dir, Offset: -1,
+				Reason: fmt.Sprintf("replay of logged batch %d failed", r.Seq), Err: err}
+		}
+		next++
+		info.ReplayedBatches++
+	}
+	// Audit before anything becomes readable: a recovered state that fails
+	// the invariant checkers must never serve a query.
+	if err := e.auditLocked(); err != nil {
+		e.mu.Unlock()
+		return nil, &CorruptStateError{Path: dir, Offset: -1,
+			Reason: "recovered state failed the invariant audit", Err: err}
+	}
+	e.publishLocked()
+	e.mu.Unlock()
+
+	w, err := wal.NewWriter(fsys, dir, next, cfg.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &DurableEmbedder{fs: fsys, dir: dir, cfg: cfg, e: e, w: w, recovery: info}, nil
+}
+
+// isWALCorrupt reports whether err is the WAL layer's corruption type.
+func isWALCorrupt(err error) bool {
+	var ce *wal.CorruptError
+	return errors.As(err, &ce)
+}
+
+// asCorruptState converts the WAL layer's corruption error to the public
+// *CorruptStateError; other errors pass through.
+func asCorruptState(err error) error {
+	var ce *wal.CorruptError
+	if errors.As(err, &ce) {
+		return &CorruptStateError{Path: ce.Path, Offset: ce.Offset, Reason: ce.Reason, Err: ce.Err}
+	}
+	return err
+}
+
+// Embedder returns the wrapped embedder for reads (Embedding, Snapshot,
+// Recommend, ...). Do not call its update methods directly — see the
+// DurableEmbedder contract.
+func (d *DurableEmbedder) Embedder() *Embedder { return d.e }
+
+// Recovery reports what Open found and repaired; the zero value after
+// Create.
+func (d *DurableEmbedder) Recovery() RecoveryInfo { return d.recovery }
+
+// Dir returns the managed directory.
+func (d *DurableEmbedder) Dir() string { return d.dir }
+
+// ApplyEvents durably applies one batch: the batch is validated, appended
+// to the WAL (fsynced per the Sync policy), and only then applied to the
+// in-memory embedder, which publishes a new snapshot. Once ApplyEvents
+// returns nil the batch will survive a crash (immediately under
+// SyncBatch, within the policy's window otherwise).
+//
+// If the in-memory apply fails after the batch was logged (cancellation,
+// a failed self-check), the error is returned and the batch is retried
+// in front of the next call, so memory never falls behind the log.
+func (d *DurableEmbedder) ApplyEvents(ctx context.Context, events []Event) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, errClosed
+	}
+	if err := d.retryPendingLocked(ctx); err != nil {
+		return 0, err
+	}
+	if err := d.e.validateEvents(events); err != nil {
+		return 0, err // never logged: an invalid batch must not reach replay
+	}
+	seq, err := d.w.Append(wal.EncodeEvents(events))
+	if err != nil {
+		return 0, fmt.Errorf("treesvd: wal append: %w", err)
+	}
+	rebuilt, err := d.e.ApplyEvents(ctx, events)
+	if err != nil {
+		d.pending = append([]Event(nil), events...)
+		return 0, err
+	}
+	d.sinceCkpt++
+	if err := d.maybeCheckpointLocked(seq); err != nil {
+		return rebuilt, err
+	}
+	return rebuilt, nil
+}
+
+// retryPendingLocked re-applies a logged-but-unapplied batch. Caller
+// holds d.mu.
+func (d *DurableEmbedder) retryPendingLocked(ctx context.Context) error {
+	if d.pending == nil {
+		return nil
+	}
+	if _, err := d.e.ApplyEvents(ctx, d.pending); err != nil {
+		return fmt.Errorf("treesvd: retrying logged batch: %w", err)
+	}
+	d.pending = nil
+	d.sinceCkpt++
+	return nil
+}
+
+// maybeCheckpointLocked takes the periodic checkpoint. Caller holds d.mu.
+func (d *DurableEmbedder) maybeCheckpointLocked(seq uint64) error {
+	if d.cfg.CheckpointEvery < 0 || d.sinceCkpt < d.cfg.CheckpointEvery {
+		return nil
+	}
+	if d.cfg.SyncCheckpoints {
+		return d.checkpointLocked(seq)
+	}
+	d.ckptMu.Lock()
+	busy := d.ckptBusy
+	if !busy {
+		d.ckptBusy = true
+	}
+	d.ckptMu.Unlock()
+	if busy {
+		return nil // one in flight; the next batch re-triggers
+	}
+	// Capture the state synchronously — Save takes e.mu, which is free
+	// here — so the checkpoint is exactly the state after batch seq; only
+	// the file I/O runs in the background.
+	payload, err := d.e.saveBytes()
+	if err != nil {
+		d.ckptMu.Lock()
+		d.ckptBusy = false
+		d.ckptMu.Unlock()
+		return err
+	}
+	d.sinceCkpt = 0
+	d.ckptWG.Add(1)
+	go func() {
+		defer d.ckptWG.Done()
+		err := d.commitCheckpoint(seq, payload)
+		d.ckptMu.Lock()
+		d.ckptErr = err
+		d.ckptBusy = false
+		d.ckptMu.Unlock()
+	}()
+	return nil
+}
+
+// checkpointLocked takes a synchronous checkpoint of the state after
+// batch seq. Caller holds d.mu.
+func (d *DurableEmbedder) checkpointLocked(seq uint64) error {
+	d.ckptWG.Wait() // never two checkpoint writers at once
+	payload, err := d.e.saveBytes()
+	if err != nil {
+		return err
+	}
+	if err := d.commitCheckpoint(seq, payload); err != nil {
+		return err
+	}
+	d.sinceCkpt = 0
+	return nil
+}
+
+// commitCheckpoint publishes one checkpoint and prunes: older checkpoints
+// beyond KeepCheckpoints first, then WAL segments covered by the oldest
+// checkpoint that remains. Safe to run concurrently with Append — it only
+// touches checkpoint files and sealed segments.
+func (d *DurableEmbedder) commitCheckpoint(seq uint64, payload []byte) error {
+	if err := wal.WriteCheckpoint(d.fs, d.dir, seq, payload); err != nil {
+		return err
+	}
+	if err := wal.PruneCheckpoints(d.fs, d.dir, d.cfg.KeepCheckpoints); err != nil {
+		return err
+	}
+	cks, err := wal.ListCheckpoints(d.fs, d.dir)
+	if err != nil {
+		return err
+	}
+	if len(cks) == 0 {
+		return nil // unreachable: the checkpoint just committed is listed
+	}
+	return wal.PruneSegments(d.fs, d.dir, cks[0].Seq)
+}
+
+// Checkpoint synchronously commits a checkpoint of the current state and
+// prunes the WAL behind it.
+func (d *DurableEmbedder) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	if err := d.retryPendingLocked(context.Background()); err != nil {
+		return err
+	}
+	return d.checkpointLocked(d.w.NextSeq() - 1)
+}
+
+// Sync forces an fsync of the WAL regardless of the Sync policy, making
+// every acknowledged batch durable now.
+func (d *DurableEmbedder) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	return d.w.Sync()
+}
+
+// Close flushes and closes the WAL and waits for any in-flight background
+// checkpoint. It reports the first deferred checkpoint error, if any; the
+// store recovers regardless — the WAL still holds everything past the
+// last committed checkpoint.
+func (d *DurableEmbedder) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	d.ckptWG.Wait()
+	d.ckptMu.Lock()
+	err := d.ckptErr
+	d.ckptMu.Unlock()
+	if werr := d.w.Close(); err == nil {
+		err = werr
+	}
+	return err
+}

@@ -19,3 +19,42 @@ func (e *NodeRangeError) Error() string {
 		"treesvd: event %d references node %d outside the embedder's capacity of %d nodes (set Config.MaxNodes at New to cover every id the stream will reach)",
 		e.Index, e.Node, e.MaxNodes)
 }
+
+// CorruptStateError reports persisted state that failed an integrity
+// check: a checksum mismatch, a structurally inconsistent save, a broken
+// WAL sequence chain, or a checkpoint that does not verify. Load,
+// LoadFile, Open's WAL recovery and its checkpoint verification all
+// return it, so callers can separate "the bytes are wrong" from ordinary
+// I/O errors with errors.As and decide between restoring a backup and
+// retrying:
+//
+//	var corrupt *treesvd.CorruptStateError
+//	if errors.As(err, &corrupt) { ... }
+type CorruptStateError struct {
+	// Path names the offending file; empty when the source was an
+	// in-memory reader.
+	Path string
+	// Offset is the byte offset of the fault when known, -1 otherwise.
+	Offset int64
+	// Reason describes what failed to verify.
+	Reason string
+	// Err is the underlying error, if any.
+	Err error
+}
+
+func (e *CorruptStateError) Error() string {
+	loc := ""
+	if e.Path != "" {
+		loc = " in " + e.Path
+		if e.Offset >= 0 {
+			loc = fmt.Sprintf(" in %s@%d", e.Path, e.Offset)
+		}
+	}
+	msg := "treesvd: corrupt state" + loc + ": " + e.Reason
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *CorruptStateError) Unwrap() error { return e.Err }

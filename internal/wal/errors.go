@@ -1,0 +1,28 @@
+package wal
+
+import "fmt"
+
+// CorruptError reports on-disk state that failed an integrity check: a
+// checksum mismatch, a broken sequence chain, a bad magic or an
+// impossible length. It is distinct from plain I/O errors so callers can
+// route "the disk lied" differently from "the disk failed". The public
+// facade converts it into treesvd's *CorruptStateError.
+type CorruptError struct {
+	Path   string // offending file
+	Offset int64  // byte offset of the fault when known, -1 otherwise
+	Reason string
+	Err    error // underlying error, may be nil
+}
+
+func (e *CorruptError) Error() string {
+	loc := e.Path
+	if e.Offset >= 0 {
+		loc = fmt.Sprintf("%s@%d", e.Path, e.Offset)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("wal: corrupt %s: %s: %v", loc, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("wal: corrupt %s: %s", loc, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }

@@ -1,10 +1,15 @@
 package treesvd
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"github.com/tree-svd/treesvd/internal/core"
 	"github.com/tree-svd/treesvd/internal/graph"
@@ -13,7 +18,19 @@ import (
 )
 
 // persistVersion guards the save format; bump on incompatible changes.
-const persistVersion = 1
+// Version 2 appends an integrity footer — the 4-byte magic "TSV2"
+// followed by a little-endian CRC32C of the entire gob payload — so bit
+// rot that still decodes as structurally plausible gob is rejected
+// deterministically. Version-1 saves (no footer) remain loadable.
+const (
+	persistVersion = 2
+	persistMagic   = "TSV2"
+	footerLen      = 8
+)
+
+// persistCRC is the CRC32C (Castagnoli) table shared by the save footer
+// and the WAL/checkpoint formats.
+var persistCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // savedEmbedder is the gob wire form of an Embedder: configuration,
 // subset, the dynamic graph, every PPR state, the proximity matrix with
@@ -31,12 +48,36 @@ type savedEmbedder struct {
 	Tree    *core.TreeSnapshot
 }
 
-// Save serializes the embedder's complete state to w (gob encoding). It
-// takes the update lock, so it is safe to call concurrently with
-// ApplyEvents/Rebuild and always writes a fully committed state.
+// crcWriter tees writes into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, persistCRC, p[:n])
+	return n, err
+}
+
+// Save serializes the embedder's complete state to w: a gob payload
+// followed by the version-2 integrity footer. It takes the update lock,
+// so it is safe to call concurrently with ApplyEvents/Rebuild and always
+// writes a fully committed state.
+//
+// Save alone is not crash-atomic: a crash mid-write leaves a truncated
+// stream that Load will reject but nothing will repair. Use SaveFile for
+// an atomically replaced on-disk checkpoint, or Open for continuous
+// WAL-backed durability.
 func (e *Embedder) Save(w io.Writer) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.saveLocked(w)
+}
+
+// saveLocked writes the versioned payload and footer. Caller holds e.mu.
+func (e *Embedder) saveLocked(w io.Writer) error {
+	cw := &crcWriter{w: w}
 	saved := savedEmbedder{
 		Version: persistVersion,
 		Config:  e.cfg,
@@ -47,58 +88,181 @@ func (e *Embedder) Save(w io.Writer) error {
 		M:       e.prox.M,
 		Tree:    e.tree.Snapshot(),
 	}
-	return gob.NewEncoder(w).Encode(&saved)
+	if err := gob.NewEncoder(cw).Encode(&saved); err != nil {
+		return fmt.Errorf("treesvd: encode: %w", err)
+	}
+	var footer [footerLen]byte
+	copy(footer[:4], persistMagic)
+	binary.LittleEndian.PutUint32(footer[4:], cw.crc)
+	if _, err := w.Write(footer[:]); err != nil {
+		return err
+	}
+	return nil
 }
 
-// Load restores an Embedder previously written by Save.
-func Load(r io.Reader) (*Embedder, error) {
-	var saved savedEmbedder
-	if err := gob.NewDecoder(r).Decode(&saved); err != nil {
-		return nil, fmt.Errorf("treesvd: decode: %w", err)
+// saveBytes captures a complete save in memory (checkpoint payloads).
+func (e *Embedder) saveBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		return nil, err
 	}
-	if saved.Version != persistVersion {
+	return buf.Bytes(), nil
+}
+
+// Load restores an Embedder previously written by Save (either format
+// version). Integrity and structural-consistency failures are reported
+// as a *CorruptStateError.
+func Load(r io.Reader) (*Embedder, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("treesvd: read save: %w", err)
+	}
+	e, err := decodeEmbedder(data, "")
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.publishLocked()
+	e.mu.Unlock()
+	return e, nil
+}
+
+// SaveFile writes the embedder's state to path crash-atomically: the
+// save goes to a temporary file in the same directory, is fsynced, and
+// is renamed over path, with a final directory fsync. Readers of path
+// therefore always observe either the previous complete save or the new
+// one, never a torn mixture — the property Save(w io.Writer) alone
+// cannot give.
+func (e *Embedder) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := e.Save(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LoadFile restores an Embedder from a file written by SaveFile (or any
+// complete Save stream). Corruption is reported as a *CorruptStateError
+// carrying the path.
+func LoadFile(path string) (*Embedder, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	e, err := decodeEmbedder(data, path)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.publishLocked()
+	e.mu.Unlock()
+	return e, nil
+}
+
+// syncDir fsyncs a directory, making a rename inside it durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// corruptErr builds the uniform corruption error for decode failures.
+func corruptErr(path, format string, args ...any) error {
+	return &CorruptStateError{Path: path, Offset: -1, Reason: fmt.Sprintf(format, args...)}
+}
+
+// decodeEmbedder verifies, decodes and structurally validates a save,
+// returning a fully wired but *unpublished* embedder: no snapshot exists
+// until the caller runs publishLocked, which lets WAL recovery replay
+// and audit before anything becomes readable. path labels errors.
+func decodeEmbedder(data []byte, path string) (*Embedder, error) {
+	payload := data
+	hasFooter := false
+	if len(data) >= footerLen && string(data[len(data)-footerLen:len(data)-4]) == persistMagic {
+		payload = data[:len(data)-footerLen]
+		want := binary.LittleEndian.Uint32(data[len(data)-4:])
+		if got := crc32.Checksum(payload, persistCRC); got != want {
+			return nil, corruptErr(path, "save checksum mismatch: computed %08x, footer %08x", got, want)
+		}
+		hasFooter = true
+	}
+	var saved savedEmbedder
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&saved); err != nil {
+		return nil, &CorruptStateError{Path: path, Offset: -1, Reason: "gob decode failed", Err: err}
+	}
+	switch {
+	case saved.Version == persistVersion && !hasFooter:
+		return nil, corruptErr(path, "version %d save is missing its integrity footer", saved.Version)
+	case saved.Version == 1 && hasFooter:
+		return nil, corruptErr(path, "version 1 payload carries a version 2 footer")
+	case saved.Version != 1 && saved.Version != persistVersion:
 		return nil, fmt.Errorf("treesvd: save format version %d, want %d", saved.Version, persistVersion)
 	}
-	// Structural validation of the decoded state: gob only guarantees the
-	// wire types, not that the pieces agree with each other. Check the
-	// cross-field invariants New establishes before wiring anything
-	// together, so a truncated or hand-edited save errors here instead of
-	// panicking on first use. RestoreSubset and RestoreTree re-check their
-	// own pieces (state shapes, tree cache dims) below.
+	// Structural validation of the decoded state: the checksum only
+	// guarantees the bytes, not that the pieces agree with each other.
+	// Check the cross-field invariants New establishes before wiring
+	// anything together, so a hand-edited or v1 (checksum-less) save
+	// errors here instead of panicking on first use. RestoreSubset and
+	// RestoreTree re-check their own pieces (state shapes, tree cache
+	// dims) below.
 	switch {
 	case saved.Graph == nil:
-		return nil, fmt.Errorf("treesvd: corrupt save: missing graph")
+		return nil, corruptErr(path, "missing graph")
 	case saved.M == nil:
-		return nil, fmt.Errorf("treesvd: corrupt save: missing proximity matrix")
+		return nil, corruptErr(path, "missing proximity matrix")
 	case saved.Tree == nil:
-		return nil, fmt.Errorf("treesvd: corrupt save: missing tree snapshot")
+		return nil, corruptErr(path, "missing tree snapshot")
 	case len(saved.Subset) == 0:
-		return nil, fmt.Errorf("treesvd: corrupt save: empty subset")
+		return nil, corruptErr(path, "empty subset")
 	case saved.M.Rows() != len(saved.Subset):
-		return nil, fmt.Errorf("treesvd: corrupt save: proximity matrix has %d rows for a subset of %d nodes",
+		return nil, corruptErr(path, "proximity matrix has %d rows for a subset of %d nodes",
 			saved.M.Rows(), len(saved.Subset))
 	case saved.M.Cols() < saved.Graph.NumNodes():
-		return nil, fmt.Errorf("treesvd: corrupt save: proximity matrix %d columns narrower than the %d-node graph",
+		return nil, corruptErr(path, "proximity matrix %d columns narrower than the %d-node graph",
 			saved.M.Cols(), saved.Graph.NumNodes())
 	}
 	seen := make(map[int32]bool, len(saved.Subset))
 	for _, v := range saved.Subset {
 		if seen[v] {
-			return nil, fmt.Errorf("treesvd: corrupt save: duplicate subset node %d", v)
+			return nil, corruptErr(path, "duplicate subset node %d", v)
 		}
 		seen[v] = true
 	}
 	cfg, err := saved.Config.withDefaults()
 	if err != nil {
-		return nil, err
+		return nil, &CorruptStateError{Path: path, Offset: -1, Reason: "invalid saved configuration", Err: err}
 	}
 	params := ppr.Params{Alpha: cfg.Alpha, RMax: cfg.RMax, Workers: cfg.Workers}
 	if err := params.Validate(); err != nil {
-		return nil, err
+		return nil, &CorruptStateError{Path: path, Offset: -1, Reason: "invalid saved configuration", Err: err}
 	}
 	sub, err := ppr.RestoreSubset(saved.Graph, saved.Subset, params, saved.Fwd, saved.Rev)
 	if err != nil {
-		return nil, err
+		return nil, &CorruptStateError{Path: path, Offset: -1, Reason: "inconsistent PPR state", Err: err}
 	}
 	prox := ppr.RestoreProximity(sub, saved.M)
 	tcfg := core.Config{
@@ -107,7 +271,7 @@ func Load(r io.Reader) (*Embedder, error) {
 	}
 	tree, err := core.RestoreTree(saved.M, tcfg, saved.Tree)
 	if err != nil {
-		return nil, err
+		return nil, &CorruptStateError{Path: path, Offset: -1, Reason: "inconsistent tree snapshot", Err: err}
 	}
 	e := newEmbedder(cfg, saved.Subset, prox, tree)
 	if !tree.Built() {
@@ -117,6 +281,5 @@ func Load(r io.Reader) (*Embedder, error) {
 			return nil, err
 		}
 	}
-	e.publishLocked()
 	return e, nil
 }

@@ -2,11 +2,21 @@ package treesvd
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"hash/crc32"
 	"math/rand"
 	"strings"
 	"testing"
 )
+
+// appendFooter seals buf's gob payload with the v2 integrity footer.
+func appendFooter(buf *bytes.Buffer) {
+	var footer [footerLen]byte
+	copy(footer[:4], persistMagic)
+	binary.LittleEndian.PutUint32(footer[4:], crc32.Checksum(buf.Bytes(), persistCRC))
+	buf.Write(footer[:])
+}
 
 // corruptSave builds a healthy embedder, decodes its save into the wire
 // struct, lets mutate corrupt it, and re-encodes. The result is a
@@ -34,6 +44,10 @@ func corruptSave(t *testing.T, mutate func(*savedEmbedder)) *bytes.Reader {
 	if err := gob.NewEncoder(&out).Encode(&saved); err != nil {
 		t.Fatal(err)
 	}
+	// Re-seal with a valid footer: these cases model semantic corruption
+	// that a checksum cannot catch, so the integrity layer must pass and
+	// the structural validation must do the rejecting.
+	appendFooter(&out)
 	return bytes.NewReader(out.Bytes())
 }
 

@@ -269,6 +269,13 @@ func (e *Embedder) ApplyEvents(ctx context.Context, events []Event) (int, error)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.applyEventsLocked(ctx, events, true)
+}
+
+// applyEventsLocked is the body of ApplyEvents. Caller holds e.mu.
+// publish=false skips the snapshot publication (an O(nnz) copy), letting
+// WAL replay fold many batches and publish once at the end.
+func (e *Embedder) applyEventsLocked(ctx context.Context, events []Event, publish bool) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -276,14 +283,8 @@ func (e *Embedder) ApplyEvents(ctx context.Context, events []Event) (int, error)
 	// touching anything: an oversized node id used to grow the graph and
 	// then panic deep inside the proximity refresh, after the graph had
 	// already advanced past the estimates.
-	capacity := e.prox.M.Cols()
-	for i, ev := range events {
-		if ev.U < 0 || int(ev.U) >= capacity {
-			return 0, &NodeRangeError{Index: i, Node: ev.U, MaxNodes: capacity}
-		}
-		if ev.V < 0 || int(ev.V) >= capacity {
-			return 0, &NodeRangeError{Index: i, Node: ev.V, MaxNodes: capacity}
-		}
+	if err := e.validateEvents(events); err != nil {
+		return 0, err
 	}
 	if e.stale || e.prox.Sub.RebuildThreshold(len(events)) {
 		// Large batch (the Theorem 3.7 fallback) or recovery from an
@@ -312,8 +313,27 @@ func (e *Embedder) ApplyEvents(ctx context.Context, events []Event) (int, error)
 	if err := e.selfCheckLocked(); err != nil {
 		return 0, err
 	}
-	e.publishLocked()
+	if publish {
+		e.publishLocked()
+	}
 	return rebuilt, nil
+}
+
+// validateEvents checks every event of a batch against the embedder's
+// fixed capacity (see Config.MaxNodes). The capacity is immutable after
+// New, so this needs no lock; the durable layer calls it before logging
+// a batch so nothing unreplayable ever reaches the WAL.
+func (e *Embedder) validateEvents(events []Event) error {
+	capacity := e.prox.M.Cols()
+	for i, ev := range events {
+		if ev.U < 0 || int(ev.U) >= capacity {
+			return &NodeRangeError{Index: i, Node: ev.U, MaxNodes: capacity}
+		}
+		if ev.V < 0 || int(ev.V) >= capacity {
+			return &NodeRangeError{Index: i, Node: ev.V, MaxNodes: capacity}
+		}
+	}
+	return nil
 }
 
 // Rebuild recomputes PPR, proximity and the full tree from scratch on the
