@@ -10,12 +10,18 @@ GO ?= go
 # driven through the differential harness (internal/check).
 SEEDS ?= 16
 
-.PHONY: ci vet build test race differential crash fuzz bench bench-kernels bench-recovery fmt
+.PHONY: ci vet build test race differential crash fuzz bench bench-kernels bench-recovery fmt docs
 
-ci: vet build test race differential crash
+ci: vet build test race differential crash docs
 
 vet:
 	$(GO) vet ./...
+
+# Documentation gate: go vet's doc-adjacent checks plus cmd/doclint,
+# which requires a package comment on every package and a doc comment on
+# every exported identifier of the public root package.
+docs: vet
+	$(GO) run ./cmd/doclint
 
 build:
 	$(GO) build ./...

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"github.com/tree-svd/treesvd/internal/wal"
 )
@@ -29,6 +30,7 @@ const (
 	SyncNone
 )
 
+// String returns the policy's name (batch, interval, none).
 func (p SyncPolicy) String() string { return wal.SyncPolicy(p).String() }
 
 // ErrNoState is returned by Open when the directory holds no durable
@@ -71,6 +73,13 @@ type DurableConfig struct {
 	// damage degrades the log to its longest verifiable prefix and is
 	// reported in RecoveryInfo instead.
 	StrictRecovery bool
+	// Trace receives pipeline trace events (see TraceHook), covering the
+	// durable layer's TraceCheckpoint and TraceRecovery in addition to the
+	// per-batch bracket. Open installs it only after WAL replay, so
+	// recovery does not fire a batch event per replayed record — it fires
+	// one TraceRecovery instead. DurableConfig is never persisted, which
+	// is why the hook lives here and not on Config.
+	Trace TraceHook
 }
 
 func (c DurableConfig) withDefaults() DurableConfig {
@@ -83,11 +92,12 @@ func (c DurableConfig) withDefaults() DurableConfig {
 	return c
 }
 
-func (c DurableConfig) walOptions() wal.Options {
+func (c DurableConfig) walOptions(met *wal.Metrics) wal.Options {
 	return wal.Options{
 		SegmentSize: c.SegmentSize,
 		Sync:        wal.SyncPolicy(c.Sync),
 		SyncEvery:   c.SyncEvery,
+		Met:         met,
 	}
 }
 
@@ -144,6 +154,11 @@ type DurableEmbedder struct {
 	ckptMu   sync.Mutex // guards the fields below; never held with mu
 	ckptBusy bool
 	ckptErr  error
+
+	// met holds the WAL and checkpoint counters; it outlives writer
+	// re-creation and is linked into the wrapped embedder's Metrics/
+	// registry at construction.
+	met *durableMetrics
 
 	recovery RecoveryInfo
 }
@@ -202,11 +217,16 @@ func createDurable(fsys wal.FS, dir string, g *Graph, subset []int32, cfg Durabl
 	if err := wal.WriteCheckpoint(fsys, dir, 0, payload); err != nil {
 		return nil, err
 	}
-	w, err := wal.NewWriter(fsys, dir, 1, cfg.walOptions())
+	dm := &durableMetrics{}
+	w, err := wal.NewWriter(fsys, dir, 1, cfg.walOptions(&dm.wal))
 	if err != nil {
 		return nil, err
 	}
-	return &DurableEmbedder{fs: fsys, dir: dir, cfg: cfg, e: e, w: w}, nil
+	e.registerDurable(dm)
+	if cfg.Trace != nil {
+		e.SetTraceHook(cfg.Trace)
+	}
+	return &DurableEmbedder{fs: fsys, dir: dir, cfg: cfg, e: e, w: w, met: dm}, nil
 }
 
 func openDurable(fsys wal.FS, dir string, cfg DurableConfig) (*DurableEmbedder, error) {
@@ -304,11 +324,20 @@ func openDurable(fsys wal.FS, dir string, cfg DurableConfig) (*DurableEmbedder, 
 	e.publishLocked()
 	e.mu.Unlock()
 
-	w, err := wal.NewWriter(fsys, dir, next, cfg.walOptions())
+	dm := &durableMetrics{}
+	w, err := wal.NewWriter(fsys, dir, next, cfg.walOptions(&dm.wal))
 	if err != nil {
 		return nil, err
 	}
-	return &DurableEmbedder{fs: fsys, dir: dir, cfg: cfg, e: e, w: w, recovery: info}, nil
+	e.registerDurable(dm)
+	// The hook goes live only now, after replay: recovery is reported as
+	// one TraceRecovery instead of a batch bracket per replayed record.
+	if cfg.Trace != nil {
+		e.SetTraceHook(cfg.Trace)
+		cfg.Trace(TraceEvent{Kind: TraceRecovery, Seq: ckSeq, Block: -1,
+			Rebuilt: info.ReplayedBatches})
+	}
+	return &DurableEmbedder{fs: fsys, dir: dir, cfg: cfg, e: e, w: w, met: dm, recovery: info}, nil
 }
 
 // isWALCorrupt reports whether err is the WAL layer's corruption type.
@@ -335,6 +364,14 @@ func (d *DurableEmbedder) Embedder() *Embedder { return d.e }
 // Recovery reports what Open found and repaired; the zero value after
 // Create.
 func (d *DurableEmbedder) Recovery() RecoveryInfo { return d.recovery }
+
+// Metrics returns the wrapped embedder's work counters; for a durable
+// embedder the WAL field is populated with the durability counters.
+func (d *DurableEmbedder) Metrics() Metrics { return d.e.Metrics() }
+
+// MetricsRegistry returns the wrapped embedder's metric registry,
+// including the treesvd_wal_* and treesvd_checkpoint* series.
+func (d *DurableEmbedder) MetricsRegistry() *Registry { return d.e.MetricsRegistry() }
 
 // Dir returns the managed directory.
 func (d *DurableEmbedder) Dir() string { return d.dir }
@@ -451,8 +488,24 @@ func (d *DurableEmbedder) checkpointLocked(seq uint64) error {
 // commitCheckpoint publishes one checkpoint and prunes: older checkpoints
 // beyond KeepCheckpoints first, then WAL segments covered by the oldest
 // checkpoint that remains. Safe to run concurrently with Append — it only
-// touches checkpoint files and sealed segments.
+// touches checkpoint files and sealed segments. It records the commit in
+// the checkpoint metrics and fires TraceCheckpoint (from the background
+// checkpoint goroutine unless SyncCheckpoints is set).
 func (d *DurableEmbedder) commitCheckpoint(seq uint64, payload []byte) error {
+	start := time.Now()
+	err := d.writeCheckpointFiles(seq, payload)
+	if err == nil {
+		d.met.checkpoints.Inc()
+		d.met.ckptNanos.ObserveSince(start)
+	}
+	if h := d.cfg.Trace; h != nil {
+		h(TraceEvent{Kind: TraceCheckpoint, Seq: seq, Block: -1, Dur: time.Since(start), Err: err})
+	}
+	return err
+}
+
+// writeCheckpointFiles is the I/O body of commitCheckpoint.
+func (d *DurableEmbedder) writeCheckpointFiles(seq uint64, payload []byte) error {
 	if err := wal.WriteCheckpoint(d.fs, d.dir, seq, payload); err != nil {
 		return err
 	}

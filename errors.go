@@ -14,6 +14,8 @@ type NodeRangeError struct {
 	MaxNodes int   // the embedder's capacity, fixed at New
 }
 
+// Error describes the offending event, its node id, and the capacity it
+// exceeded.
 func (e *NodeRangeError) Error() string {
 	return fmt.Sprintf(
 		"treesvd: event %d references node %d outside the embedder's capacity of %d nodes (set Config.MaxNodes at New to cover every id the stream will reach)",
@@ -42,6 +44,7 @@ type CorruptStateError struct {
 	Err error
 }
 
+// Error describes what failed to verify and where.
 func (e *CorruptStateError) Error() string {
 	loc := ""
 	if e.Path != "" {
@@ -57,4 +60,5 @@ func (e *CorruptStateError) Error() string {
 	return msg
 }
 
+// Unwrap returns the underlying error for errors.Is/As chains.
 func (e *CorruptStateError) Unwrap() error { return e.Err }

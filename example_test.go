@@ -77,3 +77,51 @@ func ExampleEmbedder_Recommend() {
 		!g.HasEdge(0, recs[0].Node) && !g.HasEdge(0, recs[1].Node) && !g.HasEdge(0, recs[2].Node))
 	// Output: 3 candidates, none already linked: true
 }
+
+func ExampleEmbedder_Metrics() {
+	g := ringGraph(32)
+	emb, err := treesvd.New(g, []int32{0, 8, 16, 24}, treesvd.Config{Dim: 4})
+	if err != nil {
+		panic(err)
+	}
+	for round := int32(0); round < 3; round++ {
+		var events []treesvd.Event
+		for v := int32(0); v < 32; v++ {
+			events = append(events, treesvd.Event{U: v, V: (v + 9 + round) % 32, Type: treesvd.Insert})
+		}
+		if _, err := emb.ApplyEvents(context.Background(), events); err != nil {
+			panic(err)
+		}
+	}
+	m := emb.Metrics()
+	fmt.Printf("batches=%d events=%d builds=%d snapshots=%d pushes>0=%t\n",
+		m.BatchesApplied, m.EventsApplied, m.TreeBuilds, m.SnapshotsPublished, m.Pushes > 0)
+	// Output: batches=3 events=96 builds=1 snapshots=4 pushes>0=true
+}
+
+func ExampleEmbedder_SetTraceHook() {
+	g := ringGraph(32)
+	emb, err := treesvd.New(g, []int32{0, 8}, treesvd.Config{Dim: 4})
+	if err != nil {
+		panic(err)
+	}
+	// The hook runs inline on pipeline goroutines; keep it cheap.
+	var starts, ends int
+	emb.SetTraceHook(func(ev treesvd.TraceEvent) {
+		switch ev.Kind {
+		case treesvd.TraceBatchStart:
+			starts++
+		case treesvd.TraceBatchEnd:
+			ends++
+		}
+	})
+	for round := int32(0); round < 2; round++ {
+		events := []treesvd.Event{{U: round, V: 16 + round, Type: treesvd.Insert}}
+		if _, err := emb.ApplyEvents(context.Background(), events); err != nil {
+			panic(err)
+		}
+	}
+	emb.SetTraceHook(nil) // detach; later batches fire no events
+	fmt.Printf("starts=%d ends=%d\n", starts, ends)
+	// Output: starts=2 ends=2
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/obs"
 	"github.com/tree-svd/treesvd/internal/par"
 	"github.com/tree-svd/treesvd/internal/rsvd"
 	"github.com/tree-svd/treesvd/internal/sparse"
@@ -61,6 +63,12 @@ type Tree struct {
 	seq   int64 // per-factorization counter so randomized draws differ
 	stats Stats
 	built bool
+
+	// met accumulates lifetime work counters and timing spans (always
+	// non-nil); trace, when set, receives a TraceBlockRecompute event for
+	// every level-1 block a lazy Update re-factors.
+	met   *Metrics
+	trace obs.TraceHook
 }
 
 // NewTree wraps a DynRow whose block partition was created with
@@ -71,11 +79,21 @@ func NewTree(m *sparse.DynRow, cfg Config) (*Tree, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tree{cfg: cfg, m: m, level1: make([]*blockCache, m.NumBlocks())}, nil
+	return &Tree{cfg: cfg, m: m, level1: make([]*blockCache, m.NumBlocks()), met: &Metrics{}}, nil
 }
 
 // Config returns the tree's configuration.
 func (t *Tree) Config() Config { return t.cfg }
+
+// Metrics returns the tree's cumulative work counters; see Metrics.
+func (t *Tree) Metrics() *Metrics { return t.met }
+
+// SetTrace installs (or clears, with nil) the hook that receives a
+// TraceBlockRecompute event for every block a lazy Update re-factors. The
+// hook fires from worker goroutines; it must be fast and concurrency-safe.
+// Not safe to call concurrently with Build/Update — the facade serializes
+// it behind the update lock.
+func (t *Tree) SetTrace(h obs.TraceHook) { t.trace = h }
 
 // Stats returns the work counters of the last successful Build/Update.
 func (t *Tree) Stats() Stats { return t.stats }
@@ -103,6 +121,8 @@ func (t *Tree) blockSeed(j int, seq int64) int64 {
 
 // factorCSR factors an extracted block at an explicit pass counter.
 func (t *Tree) factorCSR(blk *sparse.CSR, j int, seq int64, kernelWorkers int) (*blockCache, error) {
+	start := time.Now()
+	defer t.met.BlockFactorNanos.ObserveSince(start)
 	frob := blk.FrobNorm()
 	opts := rsvd.Options{
 		Rank:       t.cfg.Rank,
@@ -139,17 +159,20 @@ func splitBudget(w, tasks int) int {
 // matrix: every level-1 block is factored and the whole tree is merged.
 // Cancelling ctx aborts the pass without touching the committed state.
 func (t *Tree) Build(ctx context.Context) error {
+	start := time.Now()
 	t.seq++
 	w := par.Workers(t.cfg.Workers)
 	fresh := make([]*blockCache, len(t.level1))
 	kb := splitBudget(w, len(fresh))
-	if err := par.ForErr(ctx, len(fresh), w, func(j int) error {
-		c, err := t.factorBlock(j, kb)
-		if err != nil {
-			return err
-		}
-		fresh[j] = c
-		return nil
+	if err := stage(ctx, "tree.level1", func(ctx context.Context) error {
+		return par.ForErr(ctx, len(fresh), w, func(j int) error {
+			c, err := t.factorBlock(j, kb)
+			if err != nil {
+				return err
+			}
+			fresh[j] = c
+			return nil
+		})
 	}); err != nil {
 		return err
 	}
@@ -163,6 +186,8 @@ func (t *Tree) Build(ctx context.Context) error {
 	}
 	t.commit(fresh, upper, root, dirty,
 		Stats{Level1Rebuilt: len(fresh), UpperRebuilt: merges})
+	t.met.Builds.Inc()
+	t.met.PassNanos.ObserveSince(start)
 	return nil
 }
 
@@ -196,6 +221,7 @@ func (t *Tree) Update(ctx context.Context) (int, error) {
 		}
 		return t.stats.Level1Rebuilt, nil
 	}
+	start := time.Now()
 	t.seq++
 	var z []int
 	skipped := 0
@@ -208,18 +234,27 @@ func (t *Tree) Update(ctx context.Context) (int, error) {
 	}
 	if len(z) == 0 {
 		t.stats = Stats{Skipped: skipped}
+		t.met.Updates.Inc()
+		t.met.BlocksSkipped.Add(uint64(skipped))
+		t.met.PassNanos.ObserveSince(start)
 		return 0, nil // every block within tolerance: cached embedding stands
 	}
 	w := par.Workers(t.cfg.Workers)
 	fresh := append([]*blockCache(nil), t.level1...)
 	kb := splitBudget(w, len(z))
-	if err := par.ForErr(ctx, len(z), w, func(i int) error {
-		c, err := t.factorBlock(z[i], kb)
-		if err != nil {
-			return err
-		}
-		fresh[z[i]] = c
-		return nil
+	if err := stage(ctx, "tree.level1", func(ctx context.Context) error {
+		return par.ForErr(ctx, len(z), w, func(i int) error {
+			bstart := time.Now()
+			c, err := t.factorBlock(z[i], kb)
+			if err != nil {
+				return err
+			}
+			fresh[z[i]] = c
+			if h := t.trace; h != nil {
+				h(obs.TraceEvent{Kind: obs.TraceBlockRecompute, Block: z[i], Dur: time.Since(bstart)})
+			}
+			return nil
+		})
 	}); err != nil {
 		return 0, err
 	}
@@ -233,6 +268,8 @@ func (t *Tree) Update(ctx context.Context) (int, error) {
 	}
 	t.commit(fresh, upper, root, dirty,
 		Stats{Level1Rebuilt: len(z), Skipped: skipped, UpperRebuilt: merges})
+	t.met.Updates.Inc()
+	t.met.PassNanos.ObserveSince(start)
 	return len(z), nil
 }
 
@@ -249,6 +286,7 @@ func (t *Tree) commit(level1 []*blockCache, upper [][]*linalg.Dense, root *linal
 	}
 	t.stats = stats
 	t.built = true
+	t.met.observeCommit(stats)
 }
 
 // levelCounts returns the node counts per tree level, bottom-up, ending
@@ -268,6 +306,8 @@ func (t *Tree) levelCounts() []int {
 // previous caches. The tree itself is not modified — the caller commits
 // the returned structures only when the whole pass succeeded.
 func (t *Tree) merge(ctx context.Context, level1 []*blockCache, dirty map[int]bool) ([][]*linalg.Dense, *linalg.SVDResult, int, error) {
+	start := time.Now()
+	defer t.met.MergeNanos.ObserveSince(start)
 	w := par.Workers(t.cfg.Workers)
 	counts := t.levelCounts()
 	if len(counts) == 1 {
@@ -292,55 +332,60 @@ func (t *Tree) merge(ctx context.Context, level1 []*blockCache, dirty map[int]bo
 	var root *linalg.SVDResult
 	merges := 0
 	k := t.cfg.Branch
-	for cl := 0; cl+1 < len(counts); cl++ {
-		parentDirty := make(map[int]bool)
-		for j := range dirty {
-			parentDirty[j/k] = true
-		}
-		parents := make([]int, 0, len(parentDirty))
-		for pj := range parentDirty {
-			parents = append(parents, pj)
-		}
-		sort.Ints(parents)
-		isRootLevel := counts[cl+1] == 1
-		// Fan-out across dirty parents; each merge's kernels get the
-		// leftover budget (the root level has one parent, so its exact SVD
-		// runs with the full budget — it is the serial bottleneck of every
-		// update pass).
-		kb := splitBudget(w, len(parents))
-		if err := par.ForErr(ctx, len(parents), w, func(pi int) error {
-			pj := parents[pi]
-			lo := pj * k
-			hi := lo + k
-			if hi > counts[cl] {
-				hi = counts[cl]
+	if err := stage(ctx, "tree.merge", func(ctx context.Context) error {
+		for cl := 0; cl+1 < len(counts); cl++ {
+			parentDirty := make(map[int]bool)
+			for j := range dirty {
+				parentDirty[j/k] = true
 			}
-			children := make([]*linalg.Dense, 0, hi-lo)
-			cols := 0
-			for j := lo; j < hi; j++ {
-				c := childUS(cl, j)
-				children = append(children, c)
-				cols += c.Cols
+			parents := make([]int, 0, len(parentDirty))
+			for pj := range parentDirty {
+				parents = append(parents, pj)
 			}
-			// The |S|×(k·d) concat is pooled scratch: SVDTruncW's results
-			// never alias its input, so the buffer is recycled as soon as
-			// the merge SVD returns instead of being reallocated for every
-			// parent of every update pass.
-			cc := linalg.GetDense(children[0].Rows, cols)
-			linalg.HCatInto(cc, children...)
-			res := linalg.SVDTruncW(cc, t.cfg.Rank, kb)
-			linalg.PutDense(cc)
-			if isRootLevel {
-				root = res // exactly one root-level parent: no write race
-			} else {
-				upper[cl][pj] = res.US()
+			sort.Ints(parents)
+			isRootLevel := counts[cl+1] == 1
+			// Fan-out across dirty parents; each merge's kernels get the
+			// leftover budget (the root level has one parent, so its exact SVD
+			// runs with the full budget — it is the serial bottleneck of every
+			// update pass).
+			kb := splitBudget(w, len(parents))
+			if err := par.ForErr(ctx, len(parents), w, func(pi int) error {
+				pj := parents[pi]
+				lo := pj * k
+				hi := lo + k
+				if hi > counts[cl] {
+					hi = counts[cl]
+				}
+				children := make([]*linalg.Dense, 0, hi-lo)
+				cols := 0
+				for j := lo; j < hi; j++ {
+					c := childUS(cl, j)
+					children = append(children, c)
+					cols += c.Cols
+				}
+				// The |S|×(k·d) concat is pooled scratch: SVDTruncW's results
+				// never alias its input, so the buffer is recycled as soon as
+				// the merge SVD returns instead of being reallocated for every
+				// parent of every update pass.
+				cc := linalg.GetDense(children[0].Rows, cols)
+				linalg.HCatInto(cc, children...)
+				res := linalg.SVDTruncW(cc, t.cfg.Rank, kb)
+				linalg.PutDense(cc)
+				if isRootLevel {
+					root = res // exactly one root-level parent: no write race
+				} else {
+					upper[cl][pj] = res.US()
+				}
+				return nil
+			}); err != nil {
+				return err
 			}
-			return nil
-		}); err != nil {
-			return nil, nil, 0, err
+			merges += len(parents)
+			dirty = parentDirty
 		}
-		merges += len(parents)
-		dirty = parentDirty
+		return nil
+	}); err != nil {
+		return nil, nil, 0, err
 	}
 	return upper, root, merges, nil
 }
@@ -356,6 +401,7 @@ func (t *Tree) ForceRebuildBlock(ctx context.Context, j int) (int, error) {
 		}
 		return t.stats.Level1Rebuilt, nil
 	}
+	start := time.Now()
 	t.seq++
 	c, err := t.factorBlock(j, par.Workers(t.cfg.Workers))
 	if err != nil {
@@ -370,6 +416,8 @@ func (t *Tree) ForceRebuildBlock(ctx context.Context, j int) (int, error) {
 	}
 	t.commit(fresh, upper, root, dirty,
 		Stats{Level1Rebuilt: 1, UpperRebuilt: merges})
+	t.met.Updates.Inc()
+	t.met.PassNanos.ObserveSince(start)
 	return 1, nil
 }
 

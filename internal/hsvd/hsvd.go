@@ -69,6 +69,7 @@ func Factorize(m *sparse.CSR, cfg Config) *linalg.SVDResult {
 		blk := m.SliceColsCSR(lo, hi).ToDense()
 		level[j] = linalg.SVDTruncW(blk, cfg.Rank, kb).US()
 	})
+	level1SVDs.Add(uint64(nb))
 	return mergeLevels(level, cfg)
 }
 
@@ -94,6 +95,7 @@ func FactorizeDense(m *linalg.Dense, cfg Config) *linalg.SVDResult {
 		}
 		level[j] = linalg.SVDTruncW(m.SliceCols(lo, hi), cfg.Rank, kb).US()
 	})
+	level1SVDs.Add(uint64(nb))
 	return mergeLevels(level, cfg)
 }
 
@@ -115,6 +117,7 @@ func mergeLevels(level []*linalg.Dense, cfg Config) *linalg.SVDResult {
 	for len(level) > 1 {
 		parents := (len(level) + cfg.Branch - 1) / cfg.Branch
 		mb := splitBudget(w, parents)
+		mergeSVDs.Add(uint64(parents))
 		if parents == 1 {
 			// Final merge: return the full truncated result.
 			return linalg.SVDTruncW(linalg.HCat(level...), cfg.Rank, w)
@@ -132,6 +135,7 @@ func mergeLevels(level []*linalg.Dense, cfg Config) *linalg.SVDResult {
 		level = next
 	}
 	// Single block: its SVD is the answer.
+	mergeSVDs.Inc()
 	return linalg.SVDTruncW(level[0], cfg.Rank, w)
 }
 

@@ -1,0 +1,22 @@
+package hsvd
+
+import "github.com/tree-svd/treesvd/internal/obs"
+
+// Process-global work counters for the competitor baseline. The hsvd
+// entry points are free functions, so the counters are too; they let the
+// Exp. 2 harness report how many exact SVDs the hierarchical baseline
+// spent against Tree-SVD's randomized ones.
+var level1SVDs, mergeSVDs obs.Counter
+
+// CallStats is a point-in-time view of the package counters.
+type CallStats struct {
+	// Level1SVDs counts exact truncated SVDs of level-1 column blocks;
+	// MergeSVDs counts SVDs of concatenated parents (all levels ≥ 2,
+	// final merge included).
+	Level1SVDs, MergeSVDs uint64
+}
+
+// Stats returns the cumulative SVD counts.
+func Stats() CallStats {
+	return CallStats{Level1SVDs: level1SVDs.Load(), MergeSVDs: mergeSVDs.Load()}
+}

@@ -1,6 +1,10 @@
 package linalg
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/tree-svd/treesvd/internal/obs"
+)
 
 // The scratch pool backs the allocation-disciplined hot paths: Tree-SVD
 // rebuilds thousands of level-1 blocks per stream (Fig. 13 measures up to
@@ -17,14 +21,30 @@ import "sync"
 // their own return values — only explicitly scratch intermediates.
 var densePool sync.Pool
 
+// poolHits/poolMisses count GetDense calls served from the pool versus
+// freshly allocated (a recycled buffer too small for the request counts
+// as a hit — the pool supplied the header — but still reallocates data).
+// Process-global like the pool itself; read them via PoolStats.
+var poolHits, poolMisses obs.Counter
+
+// PoolStats returns the cumulative GetDense pool hit and miss counts.
+// Their ratio is the workspace-reuse rate of the kernel hot paths: a low
+// hit rate under steady-state updates means scratch buffers are being
+// retained (or PutDense calls are missing) somewhere upstream.
+func PoolStats() (hits, misses uint64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
 // GetDense returns a zeroed r×c matrix backed by pooled storage. The
 // caller must release it with PutDense once no live result aliases it.
 func GetDense(r, c int) *Dense {
 	n := r * c
 	v := densePool.Get()
 	if v == nil {
+		poolMisses.Inc()
 		return NewDense(r, c)
 	}
+	poolHits.Inc()
 	m := v.(*Dense)
 	if cap(m.Data) < n {
 		m.Data = make([]float64, n)

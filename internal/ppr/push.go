@@ -68,6 +68,10 @@ func NewState(source int32, dir graph.Direction) *State {
 type Engine struct {
 	G      *graph.Graph
 	Params Params
+	// Met receives the engine's work counters; always non-nil (NewEngine
+	// allocates one, and Subset shares a single instance across its
+	// worker engines so counts aggregate).
+	Met *Metrics
 
 	inQueue []bool
 	queue   []int32
@@ -79,7 +83,7 @@ func NewEngine(g *graph.Graph, params Params) (*Engine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{G: g, Params: params}, nil
+	return &Engine{G: g, Params: params, Met: &Metrics{}}, nil
 }
 
 func (e *Engine) ensureScratch() {
@@ -118,6 +122,9 @@ func (e *Engine) Push(st *State) {
 	}
 	sort.Slice(e.queue, func(a, b int) bool { return e.queue[a] < e.queue[b] })
 	st.dirtyR = make(map[int32]struct{})
+	// pushed is accumulated locally and folded into Met with one atomic
+	// add at the end — the loop body stays free of shared-memory traffic.
+	pushed := uint64(0)
 	for len(e.queue) > 0 {
 		u := e.queue[0]
 		e.queue = e.queue[1:]
@@ -131,6 +138,7 @@ func (e *Engine) Push(st *State) {
 			continue
 		}
 		// PUSH(u): settle α·r at u, spread (1−α)·r across neighbors.
+		pushed++
 		st.bumpP(u, alpha*ru)
 		delete(st.R, u)
 		if deg == 0 {
@@ -155,6 +163,7 @@ func (e *Engine) Push(st *State) {
 			}
 		}
 	}
+	e.Met.Pushes.Add(pushed)
 }
 
 func (e *Engine) enqueue(u int32) {

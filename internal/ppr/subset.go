@@ -144,9 +144,13 @@ func newSubsetShell(g *graph.Graph, s []int32, params Params) (*Subset, error) {
 	sp.engines[0] = sp.Engine
 	for i := 1; i < w; i++ {
 		sp.engines[i], _ = NewEngine(g, params) // params already validated
+		sp.engines[i].Met = eng.Met             // one shared counter set per subset
 	}
 	return sp, nil
 }
+
+// Metrics returns the subset's shared work counters (see Metrics).
+func (sp *Subset) Metrics() *Metrics { return sp.Engine.Met }
 
 // appliedEvent records one effective graph mutation together with the
 // post-event degrees the Algorithm 2 corrections need, so the per-source
@@ -180,6 +184,17 @@ func (sp *Subset) ApplyEvents(ctx context.Context, events []graph.Event) error {
 	if len(applied) == 0 {
 		return nil
 	}
+	// The correction count is a closed form — one Algorithm 2 adjustment
+	// per (applied event, source, enabled direction) — so the τ cost term
+	// is recorded with a single atomic add instead of per-call counting.
+	dirs := uint64(0)
+	if sp.Fwd != nil {
+		dirs++
+	}
+	if sp.Rev != nil {
+		dirs++
+	}
+	sp.Engine.Met.Adjusts.Add(uint64(len(applied)) * uint64(len(sp.S)) * dirs)
 	return par.ForWorkerErr(ctx, len(sp.S), par.Workers(sp.Engine.Params.Workers), func(worker, i int) error {
 		eng := sp.engines[worker]
 		if sp.Fwd != nil {
@@ -206,6 +221,14 @@ func (sp *Subset) ApplyEvents(ctx context.Context, events []graph.Event) error {
 // finish, so a cancelled Rebuild leaves every state either old-and-valid
 // or new-and-valid.
 func (sp *Subset) Rebuild(ctx context.Context) error {
+	dirs := uint64(0)
+	if sp.Fwd != nil {
+		dirs++
+	}
+	if sp.Rev != nil {
+		dirs++
+	}
+	sp.Engine.Met.SourceRebuilds.Add(uint64(len(sp.S)) * dirs)
 	return par.ForWorkerErr(ctx, len(sp.S), par.Workers(sp.Engine.Params.Workers), func(worker, i int) error {
 		eng := sp.engines[worker]
 		if sp.Fwd != nil {

@@ -3,6 +3,7 @@ package rsvd
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/tree-svd/treesvd/internal/linalg"
 	"github.com/tree-svd/treesvd/internal/sparse"
@@ -56,6 +57,7 @@ func SparseCW(a *sparse.CSR, opts Options) (*linalg.SVDResult, error) {
 	if opts.Rank <= 0 {
 		return nil, fmt.Errorf("rsvd: non-positive rank %d", opts.Rank)
 	}
+	defer observe(&sketchCalls, time.Now())
 	rng := rand.New(rand.NewSource(opts.Seed))
 	// Count-sketch needs a larger sketch than Gaussian for the same
 	// accuracy; use 4× the Gaussian width, capped by the matrix size.
@@ -99,5 +101,6 @@ func FRPCA(a *sparse.CSR, opts Options) (*linalg.SVDResult, error) {
 	if opts.PowerIters == 0 {
 		opts.PowerIters = 4
 	}
+	frpcaCalls.Inc() // the delegated Sparse call records the timing
 	return Sparse(a, opts)
 }

@@ -1,0 +1,42 @@
+package rsvd
+
+import (
+	"time"
+
+	"github.com/tree-svd/treesvd/internal/obs"
+)
+
+// Process-global factorization counters and kernel-time span. The rsvd
+// entry points are free functions, so the counters are too; they separate
+// level-1 kernel time from the tree bookkeeping around it when read next
+// to core.Metrics. One observation per completed factorization.
+var (
+	sparseCalls, sketchCalls, frpcaCalls obs.Counter
+	factorNanos                          obs.Histogram
+)
+
+// CallStats is a point-in-time view of the package counters.
+type CallStats struct {
+	// Sparse / CountSketch / FRPCA count completed factorizations per
+	// entry point (Sparse, SparseCW, FRPCA).
+	Sparse, CountSketch, FRPCA uint64
+	// FactorNanos summarizes wall time per factorization, all entry
+	// points pooled.
+	FactorNanos obs.HistStats
+}
+
+// Stats returns the cumulative factorization counts and timing.
+func Stats() CallStats {
+	return CallStats{
+		Sparse:      sparseCalls.Load(),
+		CountSketch: sketchCalls.Load(),
+		FRPCA:       frpcaCalls.Load(),
+		FactorNanos: factorNanos.Snapshot(),
+	}
+}
+
+// observe records one completed factorization of the given counter.
+func observe(c *obs.Counter, start time.Time) {
+	c.Inc()
+	factorNanos.ObserveSince(start)
+}

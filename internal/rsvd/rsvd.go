@@ -9,6 +9,7 @@ package rsvd
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/tree-svd/treesvd/internal/linalg"
 	"github.com/tree-svd/treesvd/internal/sparse"
@@ -86,6 +87,7 @@ func Sparse(a *sparse.CSR, opts Options) (*linalg.SVDResult, error) {
 	if opts.Rank <= 0 {
 		return nil, fmt.Errorf("rsvd: non-positive rank %d", opts.Rank)
 	}
+	defer observe(&sparseCalls, time.Now())
 	rng := rand.New(rand.NewSource(opts.Seed))
 	kw := opts.Workers
 	p := opts.sketchCols(min(a.Rows, a.Cols))

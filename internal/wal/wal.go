@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/tree-svd/treesvd/internal/graph"
 )
@@ -79,6 +80,10 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the append period of SyncInterval (default 8).
 	SyncEvery int
+	// Met receives the writer's durability counters. Pass the same
+	// instance across writer re-creations to accumulate over the log's
+	// lifetime; nil allocates a private one.
+	Met *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +92,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 8
+	}
+	if o.Met == nil {
+		o.Met = &Metrics{}
 	}
 	return o
 }
@@ -190,7 +198,7 @@ func (w *Writer) openSegment() error {
 		f.Close()
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err := syncTimed(f, w.opt.Met); err != nil {
 		f.Close()
 		return err
 	}
@@ -200,6 +208,15 @@ func (w *Writer) openSegment() error {
 	}
 	w.f, w.name, w.size, w.seen = f, name, segHdrLen, 0
 	return nil
+}
+
+// syncTimed fsyncs f, recording the call and its latency into met.
+func syncTimed(f File, met *Metrics) error {
+	start := time.Now()
+	err := f.Sync()
+	met.Fsyncs.Inc()
+	met.FsyncNanos.ObserveSince(start)
+	return err
 }
 
 // Append writes one record and applies the fsync policy. It returns the
@@ -212,6 +229,7 @@ func (w *Writer) Append(payload []byte) (uint64, error) {
 	if len(payload) > maxRecordLen {
 		return 0, fmt.Errorf("wal: record payload %d bytes exceeds the %d limit", len(payload), maxRecordLen)
 	}
+	start := time.Now()
 	recLen := int64(recHdrLen + len(payload))
 	if w.size > segHdrLen && w.size+recLen > w.opt.SegmentSize {
 		if err := w.rotate(); err != nil {
@@ -240,7 +258,7 @@ func (w *Writer) Append(payload []byte) (uint64, error) {
 		sync = w.seen >= w.opt.SyncEvery
 	}
 	if sync {
-		if err := w.f.Sync(); err != nil {
+		if err := syncTimed(w.f, w.opt.Met); err != nil {
 			w.err = err
 			return 0, err
 		}
@@ -248,19 +266,23 @@ func (w *Writer) Append(payload []byte) (uint64, error) {
 	}
 	seq := w.next
 	w.next++
+	w.opt.Met.Appends.Inc()
+	w.opt.Met.AppendedBytes.Add(uint64(recLen))
+	w.opt.Met.AppendNanos.ObserveSince(start)
 	return seq, nil
 }
 
 // rotate seals the current segment (fsync + close) and opens the next
 // one. The old segment is complete on disk before the new name appears.
 func (w *Writer) rotate() error {
-	if err := w.f.Sync(); err != nil {
+	if err := syncTimed(w.f, w.opt.Met); err != nil {
 		w.f.Close()
 		return err
 	}
 	if err := w.f.Close(); err != nil {
 		return err
 	}
+	w.opt.Met.Rotations.Inc()
 	return w.openSegment()
 }
 
@@ -269,7 +291,7 @@ func (w *Writer) Sync() error {
 	if w.err != nil {
 		return w.err
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := syncTimed(w.f, w.opt.Met); err != nil {
 		w.err = err
 		return err
 	}
@@ -288,7 +310,7 @@ func (w *Writer) Close() error {
 		return w.err
 	}
 	w.err = fmt.Errorf("wal: writer closed")
-	if err := w.f.Sync(); err != nil {
+	if err := syncTimed(w.f, w.opt.Met); err != nil {
 		w.f.Close()
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/tree-svd/treesvd/internal/core"
 	"github.com/tree-svd/treesvd/internal/linalg"
@@ -198,4 +199,6 @@ func (e *Embedder) publishLocked() {
 		stats:    Stats{Level1Rebuilt: ts.Level1Rebuilt, Skipped: ts.Skipped, UpperRebuilt: ts.UpperRebuilt},
 		numNodes: g.NumNodes(),
 	})
+	e.met.snapshots.Inc()
+	e.met.lastPublishNanos.Set(time.Now().UnixNano())
 }

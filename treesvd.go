@@ -37,10 +37,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/tree-svd/treesvd/internal/check"
 	"github.com/tree-svd/treesvd/internal/core"
 	"github.com/tree-svd/treesvd/internal/graph"
+	"github.com/tree-svd/treesvd/internal/obs"
 	"github.com/tree-svd/treesvd/internal/ppr"
 )
 
@@ -171,7 +173,13 @@ type Embedder struct {
 	// out of sync with the already-advanced graph; the next update then
 	// takes the full-rebuild path to recover.
 	stale bool
+	// trace receives pipeline events when set (see SetTraceHook); durMet
+	// links the durable layer's counters in when a DurableEmbedder wraps
+	// this embedder. Both are guarded by mu.
+	trace  obs.TraceHook
+	durMet *durableMetrics
 
+	met     *pipelineMetrics
 	version atomic.Uint64
 	snap    atomic.Pointer[Snapshot]
 }
@@ -239,6 +247,7 @@ func newEmbedder(cfg Config, subset []int32, prox *ppr.Proximity, tree *core.Tre
 	for i, v := range e.subset {
 		e.rowOf[v] = i
 	}
+	e.met = newPipelineMetrics(e)
 	return e
 }
 
@@ -274,7 +283,10 @@ func (e *Embedder) ApplyEvents(ctx context.Context, events []Event) (int, error)
 
 // applyEventsLocked is the body of ApplyEvents. Caller holds e.mu.
 // publish=false skips the snapshot publication (an O(nnz) copy), letting
-// WAL replay fold many batches and publish once at the end.
+// WAL replay fold many batches and publish once at the end. It wraps the
+// batch in the trace bracket (one TraceBatchStart, one TraceBatchEnd —
+// including on error) and records the facade-level batch metrics; the
+// pipeline work itself runs in applyBatchLocked.
 func (e *Embedder) applyEventsLocked(ctx context.Context, events []Event, publish bool) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -286,22 +298,49 @@ func (e *Embedder) applyEventsLocked(ctx context.Context, events []Event, publis
 	if err := e.validateEvents(events); err != nil {
 		return 0, err
 	}
-	if e.stale || e.prox.Sub.RebuildThreshold(len(events)) {
-		// Large batch (the Theorem 3.7 fallback) or recovery from an
-		// interrupted update: advance the graph, then recompute PPR and
-		// proximity from scratch.
-		e.prox.Sub.Engine.G.ApplyAll(events)
-		e.stale = true // graph is ahead of the estimates until Rebuild lands
-		if err := e.prox.Sub.Rebuild(ctx); err != nil {
-			return 0, err
+	start := time.Now()
+	e.met.seq++
+	seq := e.met.seq
+	if h := e.trace; h != nil {
+		h(obs.TraceEvent{Kind: obs.TraceBatchStart, Seq: seq, Block: -1, Events: len(events)})
+	}
+	rebuilt, err := e.applyBatchLocked(ctx, events, publish)
+	if err == nil {
+		e.met.batches.Inc()
+		e.met.events.Add(uint64(len(events)))
+	}
+	e.met.batchNanos.ObserveSince(start)
+	if h := e.trace; h != nil {
+		h(obs.TraceEvent{Kind: obs.TraceBatchEnd, Seq: seq, Block: -1, Events: len(events),
+			Rebuilt: rebuilt, Dur: time.Since(start), Err: err})
+	}
+	return rebuilt, err
+}
+
+// applyBatchLocked runs the batch through the pipeline stages, each under
+// its pprof stage label. Caller holds e.mu.
+func (e *Embedder) applyBatchLocked(ctx context.Context, events []Event, publish bool) (int, error) {
+	if err := stage(ctx, "ppr.apply", func(ctx context.Context) error {
+		if e.stale || e.prox.Sub.RebuildThreshold(len(events)) {
+			// Large batch (the Theorem 3.7 fallback) or recovery from an
+			// interrupted update: advance the graph, then recompute PPR and
+			// proximity from scratch.
+			e.prox.Sub.Engine.G.ApplyAll(events)
+			e.stale = true // graph is ahead of the estimates until Rebuild lands
+			if err := e.prox.Sub.Rebuild(ctx); err != nil {
+				return err
+			}
+			e.prox.RefreshAll()
+			e.stale = false
+			return nil
 		}
-		e.prox.RefreshAll()
-		e.stale = false
-	} else {
 		if err := e.prox.ApplyEvents(ctx, events); err != nil {
 			e.stale = true
-			return 0, err
+			return err
 		}
+		return nil
+	}); err != nil {
+		return 0, err
 	}
 	rebuilt, err := e.tree.Update(ctx)
 	if err != nil {
@@ -310,11 +349,11 @@ func (e *Embedder) applyEventsLocked(ctx context.Context, events []Event, publis
 		// the next update. No stale flag needed.
 		return 0, err
 	}
-	if err := e.selfCheckLocked(); err != nil {
+	if err := stage(ctx, "audit", func(context.Context) error { return e.selfCheckLocked() }); err != nil {
 		return 0, err
 	}
 	if publish {
-		e.publishLocked()
+		obs.Stage(ctx, "publish", func(context.Context) { e.publishLocked() })
 	}
 	return rebuilt, nil
 }
@@ -349,19 +388,37 @@ func (e *Embedder) Rebuild(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	e.stale = true
-	if err := e.prox.Sub.Rebuild(ctx); err != nil {
+	start := time.Now()
+	err := e.rebuildLocked(ctx)
+	if err == nil {
+		e.met.rebuilds.Inc()
+	}
+	if h := e.trace; h != nil {
+		h(obs.TraceEvent{Kind: obs.TraceRebuild, Block: -1, Dur: time.Since(start), Err: err})
+	}
+	return err
+}
+
+// rebuildLocked is the body of Rebuild. Caller holds e.mu.
+func (e *Embedder) rebuildLocked(ctx context.Context) error {
+	if err := stage(ctx, "ppr.apply", func(ctx context.Context) error {
+		e.stale = true
+		if err := e.prox.Sub.Rebuild(ctx); err != nil {
+			return err
+		}
+		e.prox.RefreshAll()
+		e.stale = false
+		return nil
+	}); err != nil {
 		return err
 	}
-	e.prox.RefreshAll()
-	e.stale = false
 	if err := e.tree.Build(ctx); err != nil {
 		return err
 	}
-	if err := e.selfCheckLocked(); err != nil {
+	if err := stage(ctx, "audit", func(context.Context) error { return e.selfCheckLocked() }); err != nil {
 		return err
 	}
-	e.publishLocked()
+	obs.Stage(ctx, "publish", func(context.Context) { e.publishLocked() })
 	return nil
 }
 
