@@ -10,9 +10,9 @@ GO ?= go
 # driven through the differential harness (internal/check).
 SEEDS ?= 16
 
-.PHONY: ci vet build test race differential crash fuzz bench bench-kernels bench-recovery fmt docs
+.PHONY: ci vet build test race differential crash fuzz bench bench-kernels bench-recovery bench-shards bench-shards-short fmt docs
 
-ci: vet build test race differential crash docs
+ci: vet build test race differential crash docs bench-shards-short
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,19 @@ bench-kernels:
 # replay time vs WAL length (see recovery_bench_test.go).
 bench-recovery:
 	BENCH_RECOVERY_OUT=$(CURDIR)/BENCH_RECOVERY.json $(GO) test -run TestEmitRecoveryBench -count=1 -v .
+
+# Emits BENCH_SHARDS.json: ApplyEvents throughput (events/sec and
+# speedup vs 1 shard) and Recommend p50/p99 latency at Shards ∈ {1,2,4,8}
+# on the churnstress stream (see shard_bench_test.go).
+bench-shards:
+	BENCH_SHARDS_OUT=$(CURDIR)/BENCH_SHARDS.json $(GO) test -run TestEmitShardBench -count=1 -v .
+
+# Short smoke variant for `make ci`: a tiny stream and a throwaway
+# output file — it gates that the shard bench harness still runs end to
+# end, not the machine-dependent numbers.
+bench-shards-short:
+	BENCH_SHARDS_OUT=$(CURDIR)/.bench-shards-ci.json BENCH_SHARDS_SHORT=1 $(GO) test -run TestEmitShardBench -count=1 .
+	@rm -f $(CURDIR)/.bench-shards-ci.json
 
 fmt:
 	gofmt -l .

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/tree-svd/treesvd/internal/par"
 	"github.com/tree-svd/treesvd/internal/wal"
 )
 
@@ -208,13 +209,13 @@ func createDurable(fsys wal.FS, dir string, g *Graph, subset []int32, cfg Durabl
 	if err != nil {
 		return nil, err
 	}
-	payload, err := e.saveBytes()
+	manifest, shards, err := e.checkpointPayloads()
 	if err != nil {
 		return nil, err
 	}
 	// Batches are numbered from 1; checkpoint seq 0 is "nothing applied
 	// beyond the initial build".
-	if err := wal.WriteCheckpoint(fsys, dir, 0, payload); err != nil {
+	if err := writeCheckpointSet(fsys, dir, 0, manifest, shards); err != nil {
 		return nil, err
 	}
 	dm := &durableMetrics{}
@@ -257,7 +258,7 @@ func openDurable(fsys wal.FS, dir string, cfg DurableConfig) (*DurableEmbedder, 
 		seq, payload, err := wal.ReadCheckpoint(fsys, dir, cks[i].Name)
 		if err == nil {
 			var cand *Embedder
-			if cand, err = decodeEmbedder(payload, filepath.Join(dir, cks[i].Name)); err == nil {
+			if cand, err = restoreCheckpoint(fsys, dir, cks[i].Name, seq, payload); err == nil {
 				e, ckSeq = cand, seq
 				break
 			}
@@ -278,6 +279,11 @@ func openDurable(fsys wal.FS, dir string, cfg DurableConfig) (*DurableEmbedder, 
 		return nil, asCorruptState(err)
 	}
 	if err := wal.RemoveTempFiles(fsys, dir); err != nil {
+		return nil, err
+	}
+	// Shard payload files whose manifest never landed (a crash between the
+	// shard writes and the manifest rename) are dead weight; collect them.
+	if err := wal.PruneShardCheckpoints(fsys, dir); err != nil {
 		return nil, err
 	}
 
@@ -338,6 +344,60 @@ func openDurable(fsys wal.FS, dir string, cfg DurableConfig) (*DurableEmbedder, 
 			Rebuilt: info.ReplayedBatches})
 	}
 	return &DurableEmbedder{fs: fsys, dir: dir, cfg: cfg, e: e, w: w, met: dm, recovery: info}, nil
+}
+
+// restoreCheckpoint decodes one verified checkpoint payload into an
+// embedder. An unsharded (or inline-sharded) payload is a complete save;
+// a sharded manifest instead references ShardFiles sibling payload
+// files, which are read and verified here and decoded in parallel under
+// the saved worker budget. A missing or damaged shard file classifies as
+// corruption — never an I/O error — so the caller's fallback loop moves
+// on to an older checkpoint whose shard set is intact.
+func restoreCheckpoint(fsys wal.FS, dir, name string, seq uint64, payload []byte) (*Embedder, error) {
+	path := filepath.Join(dir, name)
+	saved, err := decodeSaved(payload, path)
+	if err != nil {
+		return nil, err
+	}
+	if saved.ShardFiles > 0 {
+		shards := make([]savedShard, saved.ShardFiles)
+		err := par.ForErr(context.Background(), saved.ShardFiles, par.Workers(saved.Config.Workers), func(i int) error {
+			shardPath := filepath.Join(dir, wal.ShardCheckpointName(seq, i))
+			data, err := wal.ReadShardCheckpoint(fsys, dir, seq, i)
+			if err != nil {
+				if errors.Is(err, os.ErrNotExist) {
+					return corruptErr(shardPath, "manifest %s references a missing shard payload", name)
+				}
+				return err
+			}
+			sh, err := decodeShardPayload(data, shardPath)
+			if err != nil {
+				return err
+			}
+			shards[i] = *sh
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		saved.Shards = shards
+		saved.ShardFiles = 0
+	}
+	return embedderFromSaved(saved, path)
+}
+
+// writeCheckpointSet commits one checkpoint: every shard payload file is
+// written and made durable first, sequentially, and only then the
+// manifest, whose rename is the commit point. A crash anywhere in the
+// sequence leaves at worst orphan shard files — never a listed
+// checkpoint with missing payloads.
+func writeCheckpointSet(fsys wal.FS, dir string, seq uint64, manifest []byte, shards [][]byte) error {
+	for i, p := range shards {
+		if err := wal.WriteShardCheckpoint(fsys, dir, seq, i, p); err != nil {
+			return err
+		}
+	}
+	return wal.WriteCheckpoint(fsys, dir, seq, manifest)
 }
 
 // isWALCorrupt reports whether err is the WAL layer's corruption type.
@@ -447,10 +507,10 @@ func (d *DurableEmbedder) maybeCheckpointLocked(seq uint64) error {
 	if busy {
 		return nil // one in flight; the next batch re-triggers
 	}
-	// Capture the state synchronously — Save takes e.mu, which is free
-	// here — so the checkpoint is exactly the state after batch seq; only
-	// the file I/O runs in the background.
-	payload, err := d.e.saveBytes()
+	// Capture the state synchronously — checkpointPayloads takes e.mu,
+	// which is free here — so the checkpoint is exactly the state after
+	// batch seq; only the file I/O runs in the background.
+	manifest, shards, err := d.e.checkpointPayloads()
 	if err != nil {
 		d.ckptMu.Lock()
 		d.ckptBusy = false
@@ -461,7 +521,7 @@ func (d *DurableEmbedder) maybeCheckpointLocked(seq uint64) error {
 	d.ckptWG.Add(1)
 	go func() {
 		defer d.ckptWG.Done()
-		err := d.commitCheckpoint(seq, payload)
+		err := d.commitCheckpoint(seq, manifest, shards)
 		d.ckptMu.Lock()
 		d.ckptErr = err
 		d.ckptBusy = false
@@ -474,11 +534,11 @@ func (d *DurableEmbedder) maybeCheckpointLocked(seq uint64) error {
 // batch seq. Caller holds d.mu.
 func (d *DurableEmbedder) checkpointLocked(seq uint64) error {
 	d.ckptWG.Wait() // never two checkpoint writers at once
-	payload, err := d.e.saveBytes()
+	manifest, shards, err := d.e.checkpointPayloads()
 	if err != nil {
 		return err
 	}
-	if err := d.commitCheckpoint(seq, payload); err != nil {
+	if err := d.commitCheckpoint(seq, manifest, shards); err != nil {
 		return err
 	}
 	d.sinceCkpt = 0
@@ -491,9 +551,9 @@ func (d *DurableEmbedder) checkpointLocked(seq uint64) error {
 // touches checkpoint files and sealed segments. It records the commit in
 // the checkpoint metrics and fires TraceCheckpoint (from the background
 // checkpoint goroutine unless SyncCheckpoints is set).
-func (d *DurableEmbedder) commitCheckpoint(seq uint64, payload []byte) error {
+func (d *DurableEmbedder) commitCheckpoint(seq uint64, manifest []byte, shards [][]byte) error {
 	start := time.Now()
-	err := d.writeCheckpointFiles(seq, payload)
+	err := d.writeCheckpointFiles(seq, manifest, shards)
 	if err == nil {
 		d.met.checkpoints.Inc()
 		d.met.ckptNanos.ObserveSince(start)
@@ -504,12 +564,18 @@ func (d *DurableEmbedder) commitCheckpoint(seq uint64, payload []byte) error {
 	return err
 }
 
-// writeCheckpointFiles is the I/O body of commitCheckpoint.
-func (d *DurableEmbedder) writeCheckpointFiles(seq uint64, payload []byte) error {
-	if err := wal.WriteCheckpoint(d.fs, d.dir, seq, payload); err != nil {
+// writeCheckpointFiles is the I/O body of commitCheckpoint: commit the
+// set (shard payloads, then manifest), retire old manifests, collect the
+// shard payloads those manifests stranded, and prune covered WAL
+// segments.
+func (d *DurableEmbedder) writeCheckpointFiles(seq uint64, manifest []byte, shards [][]byte) error {
+	if err := writeCheckpointSet(d.fs, d.dir, seq, manifest, shards); err != nil {
 		return err
 	}
 	if err := wal.PruneCheckpoints(d.fs, d.dir, d.cfg.KeepCheckpoints); err != nil {
+		return err
+	}
+	if err := wal.PruneShardCheckpoints(d.fs, d.dir); err != nil {
 		return err
 	}
 	cks, err := wal.ListCheckpoints(d.fs, d.dir)

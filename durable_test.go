@@ -27,7 +27,12 @@ type durableFixture struct {
 	shadow  [][][]float64 // shadow[i] = embedding after batches[:i]
 }
 
-func newDurableFixture(t testing.TB) *durableFixture {
+func newDurableFixture(t testing.TB) *durableFixture { return newShardedDurableFixture(t, 1) }
+
+// newShardedDurableFixture is the fixture at an explicit shard count;
+// the shadow trajectory is computed under the same sharding so recovered
+// states compare at the persistence tolerance.
+func newShardedDurableFixture(t testing.TB, shards int) *durableFixture {
 	t.Helper()
 	subset := []int32{0, 3, 5, 9}
 	initial, batches := dataset.GenerateChurn(dataset.ChurnProfile{
@@ -43,7 +48,7 @@ func newDurableFixture(t testing.TB) *durableFixture {
 		subset:  subset,
 		batches: batches,
 		cfg: DurableConfig{
-			Config:          Config{Dim: 4, Branch: 4, Levels: 2, MaxNodes: 24, Seed: 5},
+			Config:          Config{Dim: 4, Branch: 4, Levels: 2, MaxNodes: 24, Seed: 5, Shards: shards},
 			CheckpointEvery: 2,
 			KeepCheckpoints: 2,
 			SyncCheckpoints: true,
@@ -356,7 +361,22 @@ func TestDurableRejectsInvalidBatchBeforeLogging(t *testing.T) {
 // of the stream (never shorter than what was acknowledged under the
 // per-batch fsync policy), and the store must accept further updates.
 func TestCrashPointMatrix(t *testing.T) {
-	fx := newDurableFixture(t)
+	runCrashMatrix(t, newDurableFixture(t))
+}
+
+// TestCrashPointMatrixSharded re-runs the full crash-point sweep with a
+// 3-shard embedder. Every checkpoint now commits as a multi-file set —
+// three shard payloads, fsynced in order, then the manifest whose rename
+// is the commit point — so the sweep additionally kills the store
+// between shard writes, between the last shard write and the manifest,
+// and during orphan pruning. The recovery contract is unchanged: an
+// audit-clean committed prefix, never shorter than what was
+// acknowledged under per-batch fsync.
+func TestCrashPointMatrixSharded(t *testing.T) {
+	runCrashMatrix(t, newShardedDurableFixture(t, 3))
+}
+
+func runCrashMatrix(t *testing.T, fx *durableFixture) {
 	plans := []struct {
 		name string
 		plan faultfs.Plan
@@ -390,6 +410,83 @@ func TestCrashPointMatrix(t *testing.T) {
 				t.Fatalf("sweep visited only %d fault points — the workload shrank?", points)
 			}
 			t.Logf("%s: %d fault points verified", tc.name, points)
+		})
+	}
+}
+
+// TestShardedDurableRoundTrip is the sharded create/run/reopen parity
+// check: the recovered 3-shard state (manifest + shard payload files +
+// WAL replay) must match the sharded shadow at the persistence
+// tolerance.
+func TestShardedDurableRoundTrip(t *testing.T) {
+	fx := newShardedDurableFixture(t, 3)
+	dir := t.TempDir()
+	acked, createFailed, err := fx.runWorkload(wal.OS, dir)
+	if err != nil || createFailed || acked != len(fx.batches) {
+		t.Fatalf("workload: acked %d, createFailed %v, err %v", acked, createFailed, err)
+	}
+	d, err := Open(dir, fx.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got := d.Embedder().NumShards(); got != 3 {
+		t.Fatalf("recovered NumShards = %d, want 3", got)
+	}
+	info := d.Recovery()
+	if got := int(info.CheckpointSeq) + info.ReplayedBatches; got != len(fx.batches) {
+		t.Fatalf("recovered prefix %d, want %d", got, len(fx.batches))
+	}
+	requireMatClose(t, d.Embedder().Embedding(), fx.shadow[len(fx.batches)], "reopened sharded embedding")
+}
+
+// TestOpenFallsBackPastDamagedShardFile damages one shard payload file
+// of the newest committed checkpoint — a bit flip in one run, deletion
+// in the other — and requires Open to classify the whole checkpoint as
+// corrupt, fall back to the previous one, and replay the WAL to the full
+// stream.
+func TestOpenFallsBackPastDamagedShardFile(t *testing.T) {
+	for _, damage := range []string{"bitflip", "missing"} {
+		damage := damage
+		t.Run(damage, func(t *testing.T) {
+			fx := newShardedDurableFixture(t, 3)
+			dir := t.TempDir()
+			if _, _, err := fx.runWorkload(wal.OS, dir); err != nil {
+				t.Fatal(err)
+			}
+			cks, err := wal.ListCheckpoints(wal.OS, dir)
+			if err != nil || len(cks) < 2 {
+				t.Fatalf("checkpoints: %v, %v (need ≥2 for a fallback)", cks, err)
+			}
+			target := filepath.Join(dir, wal.ShardCheckpointName(cks[len(cks)-1].Seq, 1))
+			switch damage {
+			case "bitflip":
+				data, err := os.ReadFile(target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[len(data)/2] ^= 0x20
+				if err := os.WriteFile(target, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			case "missing":
+				if err := os.Remove(target); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d, err := Open(dir, fx.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			info := d.Recovery()
+			if info.SkippedCheckpoints != 1 {
+				t.Fatalf("recovery skipped %d checkpoints, want 1", info.SkippedCheckpoints)
+			}
+			if got := int(info.CheckpointSeq) + info.ReplayedBatches; got != len(fx.batches) {
+				t.Fatalf("fallback recovered prefix %d, want %d", got, len(fx.batches))
+			}
+			requireMatClose(t, d.Embedder().Embedding(), fx.shadow[len(fx.batches)], "fallback sharded embedding")
 		})
 	}
 }

@@ -22,6 +22,32 @@ func (e *NodeRangeError) Error() string {
 		e.Index, e.Node, e.MaxNodes)
 }
 
+// ShardConfigError reports a Config.Shards value the embedder cannot
+// honor: a negative count, or more shards than subset sources (every
+// shard must own at least one source row — an empty shard would publish
+// a degenerate factorization). New and Load return it before any state
+// is built, so the caller can clamp the count and retry:
+//
+//	var sce *treesvd.ShardConfigError
+//	if errors.As(err, &sce) { cfg.Shards = sce.Subset; ... }
+type ShardConfigError struct {
+	// Shards is the rejected Config.Shards value.
+	Shards int
+	// Subset is the subset size the count was checked against; 0 when the
+	// count was rejected as negative before the subset was known.
+	Subset int
+}
+
+// Error describes the rejected shard count and the valid range.
+func (e *ShardConfigError) Error() string {
+	if e.Shards < 0 {
+		return fmt.Sprintf("treesvd: negative Shards %d (0 means the default of 1)", e.Shards)
+	}
+	return fmt.Sprintf(
+		"treesvd: %d shards for a subset of %d sources; every shard must own at least one source (set Config.Shards in [1, %d])",
+		e.Shards, e.Subset, e.Subset)
+}
+
 // CorruptStateError reports persisted state that failed an integrity
 // check: a checksum mismatch, a structurally inconsistent save, a broken
 // WAL sequence chain, or a checkpoint that does not verify. Load,

@@ -1,0 +1,70 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/tree-svd/treesvd/internal/graph"
+	"github.com/tree-svd/treesvd/internal/ppr"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// ShardView describes one shard of a sharded embedder for the
+// cross-shard audit: its subset row range and the per-shard state the
+// audit cross-checks against it.
+type ShardView struct {
+	// Lo, Hi is the shard's subset row range [Lo, Hi).
+	Lo, Hi int
+	// Sub is the shard's PPR subset (must cover exactly subset[Lo:Hi]).
+	Sub *ppr.Subset
+	// M is the shard's slice of the proximity matrix (Hi−Lo rows).
+	M *sparse.DynRow
+}
+
+// Shards audits the invariants that hold between shards rather than
+// inside one: the ranges tile [0, len(subset)) contiguously, every shard
+// reads the same graph substrate, each shard's PPR subset is exactly its
+// slice of the global subset, and all proximity slices agree on the
+// column geometry (width and block count) so their roots can merge. The
+// per-shard internals are audited separately (PPRSubset, DynRow, Tree).
+func Shards(g *graph.Graph, subset []int32, views []ShardView) error {
+	if len(views) == 0 {
+		return fmt.Errorf("check: no shards")
+	}
+	next := 0
+	for i, v := range views {
+		if v.Lo != next || v.Hi < v.Lo {
+			return fmt.Errorf("check: shard %d covers rows [%d,%d), want lo %d", i, v.Lo, v.Hi, next)
+		}
+		if v.Hi == v.Lo {
+			return fmt.Errorf("check: shard %d is empty", i)
+		}
+		next = v.Hi
+		if v.Sub == nil || v.M == nil {
+			return fmt.Errorf("check: shard %d has nil state", i)
+		}
+		if v.Sub.Engine.G != g {
+			return fmt.Errorf("check: shard %d reads a different graph substrate", i)
+		}
+		if len(v.Sub.S) != v.Hi-v.Lo {
+			return fmt.Errorf("check: shard %d has %d sources for rows [%d,%d)", i, len(v.Sub.S), v.Lo, v.Hi)
+		}
+		for j, s := range v.Sub.S {
+			if s != subset[v.Lo+j] {
+				return fmt.Errorf("check: shard %d row %d embeds source %d, want subset[%d] = %d",
+					i, j, s, v.Lo+j, subset[v.Lo+j])
+			}
+		}
+		if v.M.Rows() != v.Hi-v.Lo {
+			return fmt.Errorf("check: shard %d proximity has %d rows for range [%d,%d)", i, v.M.Rows(), v.Lo, v.Hi)
+		}
+		if v.M.Cols() != views[0].M.Cols() || v.M.NumBlocks() != views[0].M.NumBlocks() {
+			return fmt.Errorf("check: shard %d proximity geometry %dx%d/%d blocks differs from shard 0's %dx%d/%d",
+				i, v.M.Rows(), v.M.Cols(), v.M.NumBlocks(),
+				views[0].M.Rows(), views[0].M.Cols(), views[0].M.NumBlocks())
+		}
+	}
+	if next != len(subset) {
+		return fmt.Errorf("check: shards cover %d of %d subset rows", next, len(subset))
+	}
+	return nil
+}

@@ -88,6 +88,17 @@ func (t *Tree) Config() Config { return t.cfg }
 // Metrics returns the tree's cumulative work counters; see Metrics.
 func (t *Tree) Metrics() *Metrics { return t.met }
 
+// ShareMetrics replaces the tree's counter set with m, so several trees
+// (one per shard) aggregate into a single Metrics. Call right after
+// NewTree/RestoreTree, before any Build/Update — the counters are
+// updated concurrently from worker goroutines once work starts. A nil m
+// is ignored.
+func (t *Tree) ShareMetrics(m *Metrics) {
+	if m != nil {
+		t.met = m
+	}
+}
+
 // SetTrace installs (or clears, with nil) the hook that receives a
 // TraceBlockRecompute event for every block a lazy Update re-factors. The
 // hook fires from worker goroutines; it must be fast and concurrency-safe.
@@ -148,11 +159,10 @@ func (t *Tree) factorCSR(blk *sparse.CSR, j int, seq int64, kernelWorkers int) (
 // tasks so fan-out parallelism and kernel parallelism compose instead of
 // oversubscribing: with many level-1 blocks each factorization runs its
 // kernels serially, while a root merge (one task) gets the whole budget.
+// It delegates to the shared resolver in internal/par, which documents
+// the composition contract.
 func splitBudget(w, tasks int) int {
-	if tasks < 1 {
-		tasks = 1
-	}
-	return max(1, w/tasks)
+	return par.SplitBudget(w, tasks)
 }
 
 // Build runs the full static Tree-SVD (Algorithm 3) over the current

@@ -99,13 +99,11 @@ func FactorizeDense(m *linalg.Dense, cfg Config) *linalg.SVDResult {
 	return mergeLevels(level, cfg)
 }
 
-// splitBudget divides the worker budget across concurrent tasks (same
-// discipline as core's: fan-out workers × kernel workers ≈ budget).
+// splitBudget divides the worker budget across concurrent tasks via the
+// shared resolver in internal/par (fan-out workers × kernel workers ≈
+// budget; see par.SplitBudget for the composition contract).
 func splitBudget(w, tasks int) int {
-	if tasks < 1 {
-		tasks = 1
-	}
-	return max(1, w/tasks)
+	return par.SplitBudget(w, tasks)
 }
 
 // mergeLevels repeatedly concatenates groups of k compressed blocks and

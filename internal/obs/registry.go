@@ -38,20 +38,39 @@ func (k Kind) String() string {
 
 // Value is one registered metric's point-in-time reading, produced by
 // Registry.Snapshot. Exactly one of Counter/Gauge/Hist is meaningful,
-// selected by Kind.
+// selected by Kind. Labels is the rendered label pairs (`shard="0"`),
+// empty for unlabeled series.
 type Value struct {
-	Name, Unit, Help string
-	Kind             Kind
-	Counter          uint64
-	Gauge            float64
-	Hist             HistStats
+	Name, Labels, Unit, Help string
+	Kind                     Kind
+	Counter                  uint64
+	Gauge                    float64
+	Hist                     HistStats
+}
+
+// Label is one metric label pair; see the *With registration methods.
+type Label struct {
+	Key, Value string
+}
+
+// renderLabels formats label pairs in registration order as the inner
+// Prometheus label body: `k1="v1",k2="v2"`.
+func renderLabels(labels []Label) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return b.String()
 }
 
 // entry pairs a metric's description with a closure that reads it.
 type entry struct {
-	name, unit, help string
-	kind             Kind
-	read             func() Value
+	name, labels, unit, help string
+	kind                     Kind
+	read                     func() Value
 }
 
 // Registry is a named collection of metrics that can be snapshotted and
@@ -69,36 +88,50 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]struct{})}
 }
 
-// add registers one entry, panicking on a duplicate name — duplicate
-// registration is a wiring bug, not a runtime condition.
-func (r *Registry) add(name, unit, help string, kind Kind, read func() Value) {
+// add registers one entry, panicking on a duplicate (name, labels) pair —
+// duplicate registration is a wiring bug, not a runtime condition.
+// Labeled series under one base name must share kind/unit/help (the
+// Prometheus exposition emits HELP/TYPE once per name).
+func (r *Registry) add(name, labels, unit, help string, kind Kind, read func() Value) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.byName[name]; dup {
-		panic("obs: duplicate metric " + name)
+	key := name
+	if labels != "" {
+		key += "{" + labels + "}"
 	}
-	r.byName[name] = struct{}{}
-	r.entries = append(r.entries, entry{name: name, unit: unit, help: help, kind: kind, read: read})
+	if _, dup := r.byName[key]; dup {
+		panic("obs: duplicate metric " + key)
+	}
+	r.byName[key] = struct{}{}
+	r.entries = append(r.entries, entry{name: name, labels: labels, unit: unit, help: help, kind: kind, read: read})
 }
 
 // Counter registers a counter under name.
 func (r *Registry) Counter(name, unit, help string, c *Counter) {
-	r.add(name, unit, help, KindCounter, func() Value {
-		return Value{Name: name, Unit: unit, Help: help, Kind: KindCounter, Counter: c.Load()}
+	r.CounterWith(name, nil, unit, help, c)
+}
+
+// CounterWith registers a counter under name with label pairs — one
+// series per distinct label set, sharing the base name's HELP/TYPE (used
+// for per-shard series).
+func (r *Registry) CounterWith(name string, labels []Label, unit, help string, c *Counter) {
+	ls := renderLabels(labels)
+	r.add(name, ls, unit, help, KindCounter, func() Value {
+		return Value{Name: name, Labels: ls, Unit: unit, Help: help, Kind: KindCounter, Counter: c.Load()}
 	})
 }
 
 // CounterFunc registers a counter read through f (derived or process-wide
 // counts owned elsewhere, e.g. the linalg workspace pool).
 func (r *Registry) CounterFunc(name, unit, help string, f func() uint64) {
-	r.add(name, unit, help, KindCounter, func() Value {
+	r.add(name, "", unit, help, KindCounter, func() Value {
 		return Value{Name: name, Unit: unit, Help: help, Kind: KindCounter, Counter: f()}
 	})
 }
 
 // Gauge registers a gauge under name.
 func (r *Registry) Gauge(name, unit, help string, g *Gauge) {
-	r.add(name, unit, help, KindGauge, func() Value {
+	r.add(name, "", unit, help, KindGauge, func() Value {
 		return Value{Name: name, Unit: unit, Help: help, Kind: KindGauge, Gauge: float64(g.Load())}
 	})
 }
@@ -106,15 +139,27 @@ func (r *Registry) Gauge(name, unit, help string, g *Gauge) {
 // GaugeFunc registers a gauge computed by f at read time (derived values
 // such as the age of the current snapshot).
 func (r *Registry) GaugeFunc(name, unit, help string, f func() float64) {
-	r.add(name, unit, help, KindGauge, func() Value {
-		return Value{Name: name, Unit: unit, Help: help, Kind: KindGauge, Gauge: f()}
+	r.GaugeFuncWith(name, nil, unit, help, f)
+}
+
+// GaugeFuncWith is GaugeFunc with label pairs (see CounterWith).
+func (r *Registry) GaugeFuncWith(name string, labels []Label, unit, help string, f func() float64) {
+	ls := renderLabels(labels)
+	r.add(name, ls, unit, help, KindGauge, func() Value {
+		return Value{Name: name, Labels: ls, Unit: unit, Help: help, Kind: KindGauge, Gauge: f()}
 	})
 }
 
 // Histogram registers a histogram under name.
 func (r *Registry) Histogram(name, unit, help string, h *Histogram) {
-	r.add(name, unit, help, KindHistogram, func() Value {
-		return Value{Name: name, Unit: unit, Help: help, Kind: KindHistogram, Hist: h.Snapshot()}
+	r.HistogramWith(name, nil, unit, help, h)
+}
+
+// HistogramWith is Histogram with label pairs (see CounterWith).
+func (r *Registry) HistogramWith(name string, labels []Label, unit, help string, h *Histogram) {
+	ls := renderLabels(labels)
+	r.add(name, ls, unit, help, KindHistogram, func() Value {
+		return Value{Name: name, Labels: ls, Unit: unit, Help: help, Kind: KindHistogram, Hist: h.Snapshot()}
 	})
 }
 
@@ -128,8 +173,31 @@ func (r *Registry) Snapshot() []Value {
 		vals[i] = e.read()
 	}
 	r.mu.RUnlock()
-	sort.Slice(vals, func(i, j int) bool { return vals[i].Name < vals[j].Name })
+	sort.Slice(vals, func(i, j int) bool {
+		if vals[i].Name != vals[j].Name {
+			return vals[i].Name < vals[j].Name
+		}
+		return vals[i].Labels < vals[j].Labels
+	})
 	return vals
+}
+
+// series renders a Value's full series identifier: the bare name, or
+// name{labels} for labeled series.
+func (v Value) series() string {
+	if v.Labels == "" {
+		return v.Name
+	}
+	return v.Name + "{" + v.Labels + "}"
+}
+
+// quantileSeries renders the summary-quantile series for a histogram
+// Value, merging the quantile label into any existing labels.
+func (v Value) quantileSeries(q string) string {
+	if v.Labels == "" {
+		return fmt.Sprintf("%s{quantile=%q}", v.Name, q)
+	}
+	return fmt.Sprintf("%s{%s,quantile=%q}", v.Name, v.Labels, q)
 }
 
 // WriteExpvar writes the registry as one expvar-style JSON object: metric
@@ -143,7 +211,7 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 		if i > 0 {
 			b.WriteString(",\n")
 		}
-		fmt.Fprintf(&b, "%q: ", v.Name)
+		fmt.Fprintf(&b, "%q: ", v.series())
 		switch v.Kind {
 		case KindCounter:
 			fmt.Fprintf(&b, "%d", v.Counter)
@@ -166,23 +234,34 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 // encoded in the metric name — names are chosen by the caller.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
+	prevName := ""
 	for _, v := range r.Snapshot() {
-		help := v.Help
-		if v.Unit != "" {
-			help += " (" + v.Unit + ")"
+		if v.Name != prevName {
+			// HELP/TYPE once per base name: labeled series under one name
+			// share a single header (the exposition-format requirement).
+			help := v.Help
+			if v.Unit != "" {
+				help += " (" + v.Unit + ")"
+			}
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", v.Name, help, v.Name, v.Kind)
+			prevName = v.Name
 		}
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", v.Name, help, v.Name, v.Kind)
 		switch v.Kind {
 		case KindCounter:
-			fmt.Fprintf(&b, "%s %d\n", v.Name, v.Counter)
+			fmt.Fprintf(&b, "%s %d\n", v.series(), v.Counter)
 		case KindGauge:
-			fmt.Fprintf(&b, "%s %g\n", v.Name, v.Gauge)
+			fmt.Fprintf(&b, "%s %g\n", v.series(), v.Gauge)
 		case KindHistogram:
 			h := v.Hist
-			fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %d\n", v.Name, h.P50)
-			fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %d\n", v.Name, h.P90)
-			fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %d\n", v.Name, h.P99)
-			fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", v.Name, h.Sum, v.Name, h.Count)
+			fmt.Fprintf(&b, "%s %d\n", v.quantileSeries("0.5"), h.P50)
+			fmt.Fprintf(&b, "%s %d\n", v.quantileSeries("0.9"), h.P90)
+			fmt.Fprintf(&b, "%s %d\n", v.quantileSeries("0.99"), h.P99)
+			sumName, countName := v.Name+"_sum", v.Name+"_count"
+			if v.Labels != "" {
+				sumName += "{" + v.Labels + "}"
+				countName += "{" + v.Labels + "}"
+			}
+			fmt.Fprintf(&b, "%s %d\n%s %d\n", sumName, h.Sum, countName, h.Count)
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -58,6 +58,7 @@ type TraceEvent struct {
 	Kind    TraceKind
 	Seq     uint64        // snapshot version / batch or checkpoint sequence
 	Block   int           // block index (TraceBlockRecompute), else -1
+	Shard   int           // owning shard (TraceBlockRecompute); 0 unsharded
 	Events  int           // batch size (TraceBatchStart)
 	Rebuilt int           // blocks re-factored / batches replayed
 	Dur     time.Duration // duration of the completed phase

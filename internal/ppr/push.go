@@ -15,11 +15,16 @@ import (
 // Params are the PPR knobs: the decay factor α and the push threshold
 // r_max (Table 2). Smaller r_max means more accurate estimates at
 // O(1/r_max) push cost. Workers parallelizes per-source work (0 or 1 =
-// sequential; each worker gets its own push scratch).
+// sequential; each worker gets its own push scratch). Met, when non-nil,
+// is the shared work-counter set every engine built from these params
+// reports into — a sharded embedder passes one instance to every shard's
+// Subset so the counts aggregate across shards; nil allocates a private
+// set per NewEngine.
 type Params struct {
 	Alpha   float64
 	RMax    float64
 	Workers int
+	Met     *Metrics
 }
 
 // Validate reports whether the parameters are usable.
@@ -83,7 +88,11 @@ func NewEngine(g *graph.Graph, params Params) (*Engine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{G: g, Params: params, Met: &Metrics{}}, nil
+	met := params.Met
+	if met == nil {
+		met = &Metrics{}
+	}
+	return &Engine{G: g, Params: params, Met: met}, nil
 }
 
 func (e *Engine) ensureScratch() {

@@ -152,13 +152,34 @@ func newSubsetShell(g *graph.Graph, s []int32, params Params) (*Subset, error) {
 // Metrics returns the subset's shared work counters (see Metrics).
 func (sp *Subset) Metrics() *Metrics { return sp.Engine.Met }
 
-// appliedEvent records one effective graph mutation together with the
+// Applied records one effective graph mutation together with the
 // post-event degrees the Algorithm 2 corrections need, so the per-source
-// replay can run after (and independent of) the graph mutation.
-type appliedEvent struct {
-	ev      graph.Event
-	outDegU float64 // post-event out-degree of U (forward adjustment)
-	inDegV  float64 // post-event in-degree of V (reverse adjustment)
+// replay can run after (and independent of) the graph mutation. A
+// sharded embedder's coordinator advances the shared graph once with
+// ApplyAll and fans the resulting slice out to every shard's Repair.
+type Applied struct {
+	Ev      graph.Event
+	OutDegU float64 // post-event out-degree of U (forward adjustment)
+	InDegV  float64 // post-event in-degree of V (reverse adjustment)
+}
+
+// ApplyAll advances g through the events sequentially (event order
+// matters), recording every effective mutation with the post-event
+// degrees Repair needs. Duplicate inserts and missing deletes leave the
+// graph unchanged and are dropped from the result.
+func ApplyAll(g *graph.Graph, events []graph.Event) []Applied {
+	applied := make([]Applied, 0, len(events))
+	for _, ev := range events {
+		if !g.Apply(ev) {
+			continue // duplicate insert / missing delete: graph unchanged
+		}
+		applied = append(applied, Applied{
+			Ev:      ev,
+			OutDegU: float64(g.OutDeg(ev.U)),
+			InDegV:  float64(g.InDeg(ev.V)),
+		})
+	}
+	return applied
 }
 
 // ApplyEvents advances the shared graph through the events and
@@ -169,18 +190,16 @@ type appliedEvent struct {
 // has already advanced but some sources may not have been repaired —
 // callers must recover by a full Rebuild before trusting the estimates.
 func (sp *Subset) ApplyEvents(ctx context.Context, events []graph.Event) error {
-	g := sp.Engine.G
-	applied := make([]appliedEvent, 0, len(events))
-	for _, ev := range events {
-		if !g.Apply(ev) {
-			continue // duplicate insert / missing delete: graph unchanged
-		}
-		applied = append(applied, appliedEvent{
-			ev:      ev,
-			outDegU: float64(g.OutDeg(ev.U)),
-			inDegV:  float64(g.InDeg(ev.V)),
-		})
-	}
+	return sp.Repair(ctx, ApplyAll(sp.Engine.G, events))
+}
+
+// Repair replays the Algorithm 2 corrections for an already-applied
+// event slice (see ApplyAll) on every state and re-pushes the violating
+// residues. The graph must already reflect the events; it is only read
+// here, so several Subsets sharing one graph (the sharded layout) may
+// Repair the same slice concurrently. On a non-nil error some sources
+// may not have been repaired — recover with Rebuild.
+func (sp *Subset) Repair(ctx context.Context, applied []Applied) error {
 	if len(applied) == 0 {
 		return nil
 	}
@@ -200,14 +219,14 @@ func (sp *Subset) ApplyEvents(ctx context.Context, events []graph.Event) error {
 		if sp.Fwd != nil {
 			st := sp.Fwd[i]
 			for _, ae := range applied {
-				eng.adjustWithDeg(st, ae.ev.U, ae.ev.V, ae.ev.Type, ae.outDegU)
+				eng.adjustWithDeg(st, ae.Ev.U, ae.Ev.V, ae.Ev.Type, ae.OutDegU)
 			}
 			eng.Push(st)
 		}
 		if sp.Rev != nil {
 			st := sp.Rev[i]
 			for _, ae := range applied {
-				eng.adjustWithDeg(st, ae.ev.V, ae.ev.U, ae.ev.Type, ae.inDegV)
+				eng.adjustWithDeg(st, ae.Ev.V, ae.Ev.U, ae.Ev.Type, ae.InDegV)
 			}
 			eng.Push(st)
 		}

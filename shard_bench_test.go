@@ -1,0 +1,135 @@
+// Shard scaling benchmark (ISSUE 6 satellite). `make bench-shards` runs
+// TestEmitShardBench, which drives the churnstress stream through the
+// pipeline at Shards ∈ {1, 2, 4, 8} and writes BENCH_SHARDS.json:
+// ApplyEvents batch throughput (events/sec, with the speedup over the
+// 1-shard baseline) and Recommend latency (p50/p99 over repeated calls
+// against live snapshots). BENCH_SHARDS_SHORT=1 shrinks the stream to a
+// smoke-test size; `make ci` runs that variant to keep the harness from
+// rotting without gating on machine-dependent numbers.
+package treesvd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/tree-svd/treesvd/internal/dataset"
+)
+
+// shardBenchStream is the churnstress workload: a mid-size graph under
+// sustained mixed churn, sized so each batch carries real maintenance
+// work (PPR pushes plus block re-factorizations) across ≥8 sources.
+func shardBenchStream(short bool) (*Graph, []int32, [][]Event, Config) {
+	subset := []int32{0, 7, 19, 42, 77, 123, 256, 391, 477, 512}
+	nodes, batches, batchSize := 600, 24, 512
+	if short {
+		nodes, batches, batchSize = 560, 4, 96
+	}
+	initial, stream := dataset.GenerateChurn(dataset.ChurnProfile{
+		Nodes: nodes, MaxNodes: 620, Degree: 5,
+		Batches: batches, BatchSize: batchSize,
+		SelfLoopFrac: 0.05, DeleteFrac: 0.2, DupFrac: 0.05, MissFrac: 0.05, GrowFrac: 0.05,
+		BigBatch: -1,
+		Protect:  subset,
+		Seed:     7,
+	})
+	cfg := Config{Dim: 16, Branch: 4, Levels: 3, MaxNodes: 620, Seed: 3,
+		Workers: runtime.NumCPU()}
+	return initial, subset, stream, cfg
+}
+
+// shardBenchRecord is one row of BENCH_SHARDS.json.
+type shardBenchRecord struct {
+	Shards         int     `json:"shards"`
+	Batches        int     `json:"batches"`
+	Events         int     `json:"events"`
+	ApplyNs        int64   `json:"apply_ns_total"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	SpeedupVsOne   float64 `json:"speedup_vs_1shard"`
+	RecommendP50Ns int64   `json:"recommend_p50_ns"`
+	RecommendP99Ns int64   `json:"recommend_p99_ns"`
+	CPUs           int     `json:"cpus"`
+	Short          bool    `json:"short,omitempty"`
+}
+
+// TestEmitShardBench writes the machine-readable shard scaling table
+// when BENCH_SHARDS_OUT names an output path (a no-op under plain
+// `go test`). Throughput is wall-clock over the whole stream — the
+// quantity the scatter/fan-out design trades on — rather than
+// testing.Benchmark, because the apply cost is stateful: batch i's cost
+// depends on batches before it, so every shard count must pay the
+// identical sequence.
+func TestEmitShardBench(t *testing.T) {
+	out := os.Getenv("BENCH_SHARDS_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SHARDS_OUT=path to emit BENCH_SHARDS.json")
+	}
+	short := os.Getenv("BENCH_SHARDS_SHORT") != ""
+	samples := 400
+	if short {
+		samples = 60
+	}
+
+	var recs []shardBenchRecord
+	var baseline float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		initial, subset, stream, cfg := shardBenchStream(short)
+		cfg.Shards = shards
+		emb, err := New(initial, subset, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := 0
+		start := time.Now()
+		for i, b := range stream {
+			if _, err := emb.ApplyEvents(bgt, b); err != nil {
+				t.Fatalf("shards=%d batch %d: %v", shards, i, err)
+			}
+			events += len(b)
+		}
+		applyNs := time.Since(start).Nanoseconds()
+
+		// Recommend latency against the live snapshot, round-robin over
+		// the subset. The first call after a publish pays the lazy
+		// coordinator merge; later calls reuse it — both belong in the
+		// distribution a serving deployment would see.
+		lat := make([]time.Duration, 0, samples)
+		for i := 0; i < samples; i++ {
+			src := subset[i%len(subset)]
+			c := time.Now()
+			if _, err := emb.Recommend(src, 10); err != nil {
+				t.Fatal(err)
+			}
+			lat = append(lat, time.Since(c))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		perSec := float64(events) / (float64(applyNs) / 1e9)
+		if shards == 1 {
+			baseline = perSec
+		}
+		rec := shardBenchRecord{
+			Shards: shards, Batches: len(stream), Events: events,
+			ApplyNs: applyNs, EventsPerSec: perSec, SpeedupVsOne: perSec / baseline,
+			RecommendP50Ns: lat[len(lat)/2].Nanoseconds(),
+			RecommendP99Ns: lat[len(lat)*99/100].Nanoseconds(),
+			CPUs:           runtime.NumCPU(), Short: short,
+		}
+		recs = append(recs, rec)
+		t.Logf("shards=%d: %.0f events/s (%.2fx), recommend p50 %s p99 %s",
+			shards, rec.EventsPerSec, rec.SpeedupVsOne,
+			time.Duration(rec.RecommendP50Ns), time.Duration(rec.RecommendP99Ns))
+	}
+
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("wrote", out)
+}

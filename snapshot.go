@@ -3,12 +3,14 @@ package treesvd
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/tree-svd/treesvd/internal/core"
 	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/par"
 	"github.com/tree-svd/treesvd/internal/sparse"
 )
 
@@ -25,7 +27,7 @@ type Snapshot struct {
 	rowOf   map[int32]int // shared with Embedder; immutable after New
 	x       *linalg.Dense // frozen U√Σ
 	root    *linalg.SVDResult
-	m       *sparse.CSR // proximity matrix frozen at publish time
+	m       *sparse.CSR // proximity matrix frozen at publish time (unsharded)
 	outNbrs map[int32][]int32
 	stats   Stats
 	// numNodes is the graph's node count at publish time. The right
@@ -34,6 +36,15 @@ type Snapshot struct {
 	// exist yet (ISSUE 3, ghost recommendations).
 	numNodes int
 
+	// parts holds the frozen per-shard factorizations of a sharded
+	// embedder (nil when unsharded). x, root and y are then materialized
+	// at most once by mergeOnce: the coordinator merge above the shard
+	// boundary runs lazily, on the first read that needs global factors.
+	parts     []snapPart
+	rank      int // Config.Dim, the merge truncation rank
+	workers   int // resolved worker budget for the lazy merge
+	mergeOnce sync.Once
+
 	// y is the right embedding Ṽ√Σ, materialized at most once per
 	// snapshot on first use and reused by every later RightEmbedding/
 	// Recommend on this version. yComputes counts materializations
@@ -41,6 +52,56 @@ type Snapshot struct {
 	yOnce     sync.Once
 	y         *linalg.Dense
 	yComputes atomic.Int32
+}
+
+// snapPart is one shard's contribution to a sharded snapshot: its frozen
+// root factorization and proximity rows, plus the subset row range they
+// cover.
+type snapPart struct {
+	root   *linalg.SVDResult
+	m      *sparse.CSR
+	lo, hi int
+}
+
+// ensureMerged materializes the global factors of a sharded snapshot
+// exactly once: per-shard projections W_i = M_iᵀU_i, the coordinator
+// merge above the shard boundary, and (in the same pass, while the
+// projections are in hand) the right embedding. Unsharded snapshots are
+// published with x/root already frozen, so this is a no-op for them.
+func (s *Snapshot) ensureMerged() {
+	if s.parts == nil {
+		return
+	}
+	s.mergeOnce.Do(func() {
+		roots := make([]*linalg.SVDResult, len(s.parts))
+		ws := make([]*linalg.Dense, len(s.parts))
+		for i, p := range s.parts {
+			roots[i] = p.root
+			ws[i] = p.m.TMulDenseW(p.root.U, s.workers)
+		}
+		mr, err := core.MergeShardRoots(roots, ws, s.rank, s.workers)
+		if err != nil {
+			// Shapes come from the publishing embedder; a mismatch is a
+			// programming error, not a runtime condition.
+			panic(err)
+		}
+		s.root = mr.Root
+		s.x = mr.Root.USqrtS()
+		s.yComputes.Add(1)
+		s.y = mr.RightEmbedding(ws, s.workers)
+	})
+}
+
+// rootSVD returns the snapshot's (merged) root factorization.
+func (s *Snapshot) rootSVD() *linalg.SVDResult {
+	s.ensureMerged()
+	return s.root
+}
+
+// xMat returns the snapshot's (merged) subset embedding X = U√Σ.
+func (s *Snapshot) xMat() *linalg.Dense {
+	s.ensureMerged()
+	return s.x
 }
 
 // Version returns the snapshot's version counter; it increases by one
@@ -59,11 +120,11 @@ func (s *Snapshot) NumNodes() int { return s.numNodes }
 
 // Spectrum returns the singular values of this snapshot's root
 // factorization, descending (a copy; the snapshot stays immutable).
-func (s *Snapshot) Spectrum() []float64 { return append([]float64(nil), s.root.S...) }
+func (s *Snapshot) Spectrum() []float64 { return append([]float64(nil), s.rootSVD().S...) }
 
 // Embedding returns the |S|×d subset embedding X = U√Σ of this snapshot
 // as a row-major matrix: row i embeds Subset()[i].
-func (s *Snapshot) Embedding() [][]float64 { return toRows(s.x) }
+func (s *Snapshot) Embedding() [][]float64 { return toRows(s.xMat()) }
 
 // RightEmbedding returns the n×d right-factor embedding Y = Ṽ√Σ of this
 // snapshot (row v embeds graph node v). Y is computed once per snapshot
@@ -71,8 +132,13 @@ func (s *Snapshot) Embedding() [][]float64 { return toRows(s.x) }
 func (s *Snapshot) RightEmbedding() [][]float64 { return toRows(s.right()) }
 
 // right materializes Y = Σ^{-1/2}·Uᵀ·M at most once (Theorem 3.2's
-// recovery of the right factor from the frozen proximity matrix).
+// recovery of the right factor from the frozen proximity matrix). For
+// sharded snapshots Y falls out of the coordinator merge instead.
 func (s *Snapshot) right() *linalg.Dense {
+	if s.parts != nil {
+		s.ensureMerged()
+		return s.y
+	}
 	s.yOnce.Do(func() {
 		s.yComputes.Add(1)
 		s.y = core.RightEmbeddingOf(s.root, s.m)
@@ -116,36 +182,14 @@ func (h *recHeap) Pop() interface{} {
 	return x
 }
 
-// Recommend returns the top-k candidate targets for subset node s, ranked
-// by the factorization score dot(X[s], Y[v]) — the paper's motivating
-// application. Candidates are the nodes that exist as of this snapshot's
-// version (ids the MaxNodes headroom reserves but the graph has not
-// reached yet are never returned); node s itself and its out-neighbors
-// are excluded. Results are ordered by descending score, ties by
-// ascending node id. It returns an error if s is not in the subset.
-func (s *Snapshot) Recommend(src int32, k int) ([]Recommendation, error) {
-	row, ok := s.rowOf[src]
-	if !ok {
-		return nil, fmt.Errorf("treesvd: node %d is not in the embedded subset", src)
-	}
-	if s.root.Rank() == 0 {
-		return nil, fmt.Errorf("treesvd: empty factorization")
-	}
-	if k <= 0 {
-		return nil, nil
-	}
-	y := s.right()
-	xs := s.x.Row(row)
-	exclude := make(map[int32]bool, len(s.outNbrs[src])+1)
-	exclude[src] = true
-	for _, v := range s.outNbrs[src] {
-		exclude[v] = true
-	}
+// scanTopK scores candidates v ∈ [lo, hi) against xs and keeps the top k
+// under the (score desc, node asc) total order. Ascending iteration plus
+// strict-greater replacement keeps the smallest node ids among ties, so
+// the returned heap holds exactly the range's top k under that order —
+// which makes per-range results mergeable without losing exactness.
+func scanTopK(xs []float64, y *linalg.Dense, lo, hi int, exclude map[int32]bool, k int) recHeap {
 	top := make(recHeap, 0, k)
-	// y has MaxNodes rows; only the first numNodes are real nodes of this
-	// snapshot's graph — the rest would surface as zero-score ghosts.
-	limit := min(y.Rows, s.numNodes)
-	for v := 0; v < limit; v++ {
+	for v := lo; v < hi; v++ {
 		if exclude[int32(v)] {
 			continue
 		}
@@ -158,13 +202,71 @@ func (s *Snapshot) Recommend(src int32, k int) ([]Recommendation, error) {
 			heap.Fix(&top, 0)
 		}
 	}
-	// Drain ascending (worst first) into the back of the output so the
-	// result reads best-first.
-	out := make([]Recommendation, len(top))
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&top).(Recommendation)
+	return top
+}
+
+// mergeTopK gathers per-range top-k heaps into one ranked result:
+// descending score, ties by ascending node id — the same order a single
+// full scan produces.
+func mergeTopK(tops []recHeap, k int) []Recommendation {
+	var all []Recommendation
+	for _, t := range tops {
+		all = append(all, t...)
 	}
-	return out, nil
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Node < all[j].Node
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Recommend returns the top-k candidate targets for subset node s, ranked
+// by the factorization score dot(X[s], Y[v]) — the paper's motivating
+// application. Candidates are the nodes that exist as of this snapshot's
+// version (ids the MaxNodes headroom reserves but the graph has not
+// reached yet are never returned); node s itself and its out-neighbors
+// are excluded. Results are ordered by descending score, ties by
+// ascending node id. It returns an error if s is not in the subset.
+//
+// On a sharded snapshot the scan scatters across contiguous candidate
+// ranges (one per shard, scored in parallel under the snapshot's worker
+// budget) and gathers the per-range top-k heaps into one ranked merge;
+// the result is provably identical to the single full scan.
+func (s *Snapshot) Recommend(src int32, k int) ([]Recommendation, error) {
+	row, ok := s.rowOf[src]
+	if !ok {
+		return nil, fmt.Errorf("treesvd: node %d is not in the embedded subset", src)
+	}
+	if s.rootSVD().Rank() == 0 {
+		return nil, fmt.Errorf("treesvd: empty factorization")
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	y := s.right()
+	xs := s.xMat().Row(row)
+	exclude := make(map[int32]bool, len(s.outNbrs[src])+1)
+	exclude[src] = true
+	for _, v := range s.outNbrs[src] {
+		exclude[v] = true
+	}
+	// y has MaxNodes rows; only the first numNodes are real nodes of this
+	// snapshot's graph — the rest would surface as zero-score ghosts.
+	limit := min(y.Rows, s.numNodes)
+	if s.parts == nil {
+		return mergeTopK([]recHeap{scanTopK(xs, y, 0, limit, exclude, k)}, k), nil
+	}
+	ranges := core.ShardRanges(limit, len(s.parts))
+	tops := make([]recHeap, len(ranges))
+	par.For(len(ranges), s.workers, func(i int) {
+		tops[i] = scanTopK(xs, y, ranges[i][0], ranges[i][1], exclude, k)
+	})
+	return mergeTopK(tops, k), nil
 }
 
 func dot(a, b []float64) float64 {
@@ -176,29 +278,46 @@ func dot(a, b []float64) float64 {
 }
 
 // publishLocked freezes the current pipeline state into a new immutable
-// snapshot and publishes it. Caller holds e.mu; the tree must be built.
-// The proximity matrix is captured as a CSR copy (the DynRow keeps
-// mutating afterwards) and subset out-neighbor lists are copied out of
-// the graph for the same reason.
+// snapshot and publishes it. Caller holds e.mu; every shard's tree must
+// be built. Proximity rows are captured as per-shard CSR copies (the
+// DynRows keep mutating afterwards) and subset out-neighbor lists are
+// copied out of the graph for the same reason. An unsharded embedder
+// freezes its factors directly; a sharded one freezes the per-shard
+// parts and defers the coordinator merge to the first global read.
 func (e *Embedder) publishLocked() {
-	root := e.tree.Root()
-	g := e.prox.Sub.Engine.G
+	g := e.g
 	nbrs := make(map[int32][]int32, len(e.subset))
 	for _, s := range e.subset {
 		nbrs[s] = append([]int32(nil), g.OutNeighbors(s)...)
 	}
-	ts := e.tree.Stats()
-	e.snap.Store(&Snapshot{
+	snap := &Snapshot{
 		version:  e.version.Add(1),
 		subset:   e.subset,
 		rowOf:    e.rowOf,
-		x:        root.USqrtS(),
-		root:     root,
-		m:        e.prox.M.ToCSR(),
 		outNbrs:  nbrs,
-		stats:    Stats{Level1Rebuilt: ts.Level1Rebuilt, Skipped: ts.Skipped, UpperRebuilt: ts.UpperRebuilt},
 		numNodes: g.NumNodes(),
-	})
+	}
+	if len(e.shards) == 1 {
+		s := e.shards[0]
+		root := s.tree.Root()
+		ts := s.tree.Stats()
+		snap.x = root.USqrtS()
+		snap.root = root
+		snap.m = s.prox.M.ToCSR()
+		snap.stats = Stats{Level1Rebuilt: ts.Level1Rebuilt, Skipped: ts.Skipped, UpperRebuilt: ts.UpperRebuilt}
+	} else {
+		snap.parts = make([]snapPart, len(e.shards))
+		snap.rank = e.cfg.Dim
+		snap.workers = par.Workers(e.cfg.Workers)
+		for i, s := range e.shards {
+			snap.parts[i] = snapPart{root: s.tree.Root(), m: s.prox.M.ToCSR(), lo: s.lo, hi: s.hi}
+			ts := s.tree.Stats()
+			snap.stats.Level1Rebuilt += ts.Level1Rebuilt
+			snap.stats.Skipped += ts.Skipped
+			snap.stats.UpperRebuilt += ts.UpperRebuilt
+		}
+	}
+	e.snap.Store(snap)
 	e.met.snapshots.Inc()
 	e.met.lastPublishNanos.Set(time.Now().UnixNano())
 }
