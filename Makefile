@@ -10,9 +10,9 @@ GO ?= go
 # driven through the differential harness (internal/check).
 SEEDS ?= 16
 
-.PHONY: ci vet build test race differential crash fuzz bench bench-kernels bench-recovery bench-shards bench-shards-short fmt docs
+.PHONY: ci vet build test race differential crash fuzz bench bench-kernels bench-recovery bench-shards bench-shards-short bench-serve bench-serve-short serve-race fmt docs
 
-ci: vet build test race differential crash docs bench-shards-short
+ci: vet build test race differential crash docs bench-shards-short bench-serve-short
 
 vet:
 	$(GO) vet ./...
@@ -30,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/... .
+	$(GO) test -race ./internal/... ./server/... ./client/... .
 
 # Differential correctness harness at the default seed count, under the
 # race detector — the CI gate for the dynamic path. Includes the
@@ -75,6 +75,25 @@ bench-shards:
 bench-shards-short:
 	BENCH_SHARDS_OUT=$(CURDIR)/.bench-shards-ci.json BENCH_SHARDS_SHORT=1 $(GO) test -run TestEmitShardBench -count=1 .
 	@rm -f $(CURDIR)/.bench-shards-ci.json
+
+# Emits BENCH_SERVE.json: open-loop serving latency (p50/p99/p999) at
+# three or more offered-load points against an in-process HTTP server
+# (see cmd/loadgen). README's "Serving" section quotes these numbers.
+bench-serve:
+	$(GO) run ./cmd/loadgen -rates 200,500,1000,2000 -duration 3s \
+		-out $(CURDIR)/BENCH_SERVE.json
+
+# Short smoke variant for `make ci`: tiny graph, short windows, throwaway
+# output — it gates that serve + client + loadgen still work end to end,
+# not the machine-dependent numbers.
+bench-serve-short:
+	$(GO) run ./cmd/loadgen -short -out $(CURDIR)/.bench-serve-ci.json
+	@rm -f $(CURDIR)/.bench-serve-ci.json
+
+# The serving integration + storm suite under the race detector alone
+# (it is also part of `make race`).
+serve-race:
+	$(GO) test -race -count=1 ./server/... ./client/...
 
 fmt:
 	gofmt -l .

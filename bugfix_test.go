@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -145,4 +146,129 @@ func TestRecommendNoGhostNodes(t *testing.T) {
 			t.Errorf("pinned snapshot recommended node %d born after its version", r.Node)
 		}
 	}
+}
+
+// TestRecommendKContract is the ISSUE 8 regression for the top-k edge
+// cases: k <= 0 must be rejected with a *InvalidKError (so a server can
+// map it to HTTP 400 deterministically), and a k larger than the
+// candidate set must truncate to every available candidate instead of
+// erroring or padding.
+func TestRecommendKContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := buildGraph(rng, 12, 48)
+	emb, err := New(g, []int32{0, 1}, Config{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, -1, -100} {
+		_, err := emb.Recommend(0, k)
+		var ike *InvalidKError
+		if !errors.As(err, &ike) {
+			t.Fatalf("k=%d: want *InvalidKError, got %v", k, err)
+		}
+		if ike.K != k {
+			t.Errorf("k=%d: error carries K=%d", k, ike.K)
+		}
+		// The snapshot path must agree with the facade path.
+		if _, err := emb.Snapshot().Recommend(0, k); !errors.As(err, &ike) {
+			t.Fatalf("snapshot k=%d: want *InvalidKError, got %v", k, err)
+		}
+	}
+	// Oversized k: 12 nodes minus the source and its out-neighbors can
+	// never reach 1000; the result is simply every candidate, ranked.
+	recs, err := emb.Recommend(0, 1000)
+	if err != nil {
+		t.Fatalf("oversized k must truncate, got error %v", err)
+	}
+	if len(recs) == 0 || len(recs) > 11 {
+		t.Fatalf("oversized k returned %d candidates, want 1..11", len(recs))
+	}
+	exact, err := emb.Recommend(0, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if exact[i] != recs[i] {
+			t.Fatal("truncated oversized-k result diverged from the exact-k result")
+		}
+	}
+}
+
+// TestRecommendNotInSubsetTyped is the ISSUE 8 regression for the untyped
+// not-in-subset error: a source outside the embedded subset must surface
+// as a *NotInSubsetError so the serving layer can distinguish 404 from
+// 500.
+func TestRecommendNotInSubsetTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := buildGraph(rng, 12, 48)
+	emb, err := New(g, []int32{0, 1, 2}, Config{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = emb.Recommend(7, 5)
+	var nis *NotInSubsetError
+	if !errors.As(err, &nis) {
+		t.Fatalf("want *NotInSubsetError, got %v", err)
+	}
+	if nis.Node != 7 || nis.Subset != 3 {
+		t.Errorf("error carries Node=%d Subset=%d, want 7 and 3", nis.Node, nis.Subset)
+	}
+}
+
+// TestGraphViewConcurrentWithUpdates is the ISSUE 8 regression for the
+// Graph() escape hatch: the read-only view must be safe to hammer from
+// many goroutines — including with out-of-range ids — while ApplyEvents
+// streams batches. Run under -race (make race covers this package).
+func TestGraphViewConcurrentWithUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := buildGraph(rng, 24, 120)
+	emb, err := New(g, []int32{0, 1, 2, 3}, Config{Dim: 4, RMax: 1e-3, MaxNodes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := emb.Graph()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				u := int32((i + r) % 40) // past NumNodes on purpose
+				view.NumNodes()
+				view.NumEdges()
+				view.HasEdge(u, int32(i%40))
+				view.OutDeg(u)
+				view.InDeg(-1)
+				if nbrs := view.OutNeighbors(u); u >= 32 && nbrs != nil {
+					panic("neighbors for an out-of-range id")
+				}
+				view.InNeighbors(u)
+			}
+		}(r)
+	}
+	evRng := rand.New(rand.NewSource(14))
+	for b := 0; b < 30; b++ {
+		batch := make([]Event, 0, 8)
+		for len(batch) < 8 {
+			u, v := int32(evRng.Intn(32)), int32(evRng.Intn(32))
+			batch = append(batch, Event{U: u, V: v, Type: Insert})
+		}
+		if _, err := emb.ApplyEvents(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	// The copies handed out must stay valid after further updates.
+	nbrs := view.OutNeighbors(0)
+	if _, err := emb.ApplyEvents(context.Background(), []Event{{U: 0, V: 31, Type: Insert}}); err != nil {
+		t.Fatal(err)
+	}
+	_ = nbrs[:cap(nbrs)]
 }

@@ -1,0 +1,195 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	treesvd "github.com/tree-svd/treesvd"
+	"github.com/tree-svd/treesvd/internal/wire"
+)
+
+// fakeServer counts attempts and serves a scripted sequence of statuses
+// before succeeding, to pin down the retry policy without a real server.
+func fakeServer(t *testing.T, failures int, failStatus int, handler http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		if int(n) <= failures {
+			w.WriteHeader(failStatus)
+			json.NewEncoder(w).Encode(wire.ErrorDTO{Error: "scripted failure", Kind: wire.KindInternal})
+			return
+		}
+		handler(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &attempts
+}
+
+func versionHandler(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(wire.VersionDTO{Version: 42, NumNodes: 10})
+}
+
+func TestRetriesOn5xxThenSucceeds(t *testing.T) {
+	ts, attempts := fakeServer(t, 2, http.StatusInternalServerError, versionHandler)
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond, 4*time.Millisecond))
+	ver, err := c.Version(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver.Version != 42 || attempts.Load() != 3 {
+		t.Fatalf("version=%d attempts=%d, want 42 after exactly 3 attempts", ver.Version, attempts.Load())
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	ts, attempts := fakeServer(t, 100, http.StatusServiceUnavailable, versionHandler)
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Version(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want *APIError wrapping 503, got %v", err)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", attempts.Load())
+	}
+}
+
+// A 4xx is a deterministic input error: no retry, and the typed error
+// comes back out.
+func TestNoRetryOn4xx(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(wire.ErrorDTO{Error: "bad k", Kind: wire.KindInvalidK, K: -3})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(5), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Recommend(context.Background(), 0, -3)
+	var ike *treesvd.InvalidKError
+	if !errors.As(err, &ike) || ike.K != -3 {
+		t.Fatalf("want *InvalidKError{K:-3}, got %v", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("4xx retried: %d attempts", attempts.Load())
+	}
+}
+
+// Writes are never retried — ApplyEvents is not idempotent.
+func TestNoRetryOnWrite(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(wire.ErrorDTO{Error: "boom", Kind: wire.KindInternal})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(5), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.ApplyEvents(context.Background(), []treesvd.Event{{U: 0, V: 1, Type: treesvd.Insert}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("want *APIError 500, got %v", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("write retried: %d attempts", attempts.Load())
+	}
+}
+
+// TestErrorKindMapping reconstructs the whole typed-error family from
+// response bodies, and degrades unknown kinds to *APIError.
+func TestErrorKindMapping(t *testing.T) {
+	cases := []struct {
+		name   string
+		status int
+		dto    wire.ErrorDTO
+		check  func(error) bool
+	}{
+		{"invalid_k", 400, wire.ErrorDTO{Kind: wire.KindInvalidK, K: 0}, func(err error) bool {
+			var e *treesvd.InvalidKError
+			return errors.As(err, &e) && e.K == 0
+		}},
+		{"not_in_subset", 404, wire.ErrorDTO{Kind: wire.KindNotInSubset, Node: 9, Subset: 4}, func(err error) bool {
+			var e *treesvd.NotInSubsetError
+			return errors.As(err, &e) && e.Node == 9 && e.Subset == 4
+		}},
+		{"node_range", 400, wire.ErrorDTO{Kind: wire.KindNodeRange, Index: 2, Node: 77, MaxNodes: 50}, func(err error) bool {
+			var e *treesvd.NodeRangeError
+			return errors.As(err, &e) && e.Index == 2 && e.Node == 77 && e.MaxNodes == 50
+		}},
+		{"unknown_kind", 418, wire.ErrorDTO{Kind: "teapot", Error: "short and stout"}, func(err error) bool {
+			var e *APIError
+			return errors.As(err, &e) && e.Status == 418 && e.Kind == "teapot" && e.Message == "short and stout"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(tc.status)
+				json.NewEncoder(w).Encode(tc.dto)
+			}))
+			defer ts.Close()
+			c := New(ts.URL, WithRetries(0))
+			_, err := c.Version(context.Background())
+			if !tc.check(err) {
+				t.Fatalf("mapping failed: got %v", err)
+			}
+		})
+	}
+}
+
+// A non-JSON error body (a proxy's HTML 502 page, say) still surfaces as
+// an *APIError rather than a decode failure.
+func TestUnparsableErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write([]byte("<html>bad gateway</html>"))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(0))
+	_, err := c.Version(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("want *APIError 502, got %v", err)
+	}
+}
+
+// Context cancellation cuts the retry loop short instead of sleeping out
+// the backoff schedule.
+func TestContextCancelDuringBackoff(t *testing.T) {
+	ts, attempts := fakeServer(t, 100, http.StatusInternalServerError, versionHandler)
+	c := New(ts.URL, WithRetries(10), WithBackoff(time.Hour, time.Hour))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Version(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("attempts = %d, want 1 before the deadline", attempts.Load())
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	c := New("http://unused", WithBackoff(50*time.Millisecond, 400*time.Millisecond))
+	want := []time.Duration{50, 100, 200, 400, 400, 400}
+	for i, w := range want {
+		if got := c.backoffFor(i); got != w*time.Millisecond {
+			t.Errorf("backoffFor(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	// Shift overflow saturates at the cap rather than going negative.
+	if got := c.backoffFor(62); got != 400*time.Millisecond {
+		t.Errorf("backoffFor(62) = %v, want cap", got)
+	}
+}

@@ -22,6 +22,44 @@ func (e *NodeRangeError) Error() string {
 		e.Index, e.Node, e.MaxNodes)
 }
 
+// NotInSubsetError reports a Recommend (or embedding-row lookup) source
+// that is not one of the embedder's subset rows. Only subset nodes have a
+// left factor to score candidates with, so the request cannot be served —
+// but nothing is wrong with the embedder either, which is why the error
+// is typed: a server can map it to HTTP 404 ("no such resource") instead
+// of a generic 500, and a caller can distinguish "wrong source" from a
+// real failure with errors.As:
+//
+//	var nis *treesvd.NotInSubsetError
+//	if errors.As(err, &nis) { ... }
+type NotInSubsetError struct {
+	// Node is the requested source node id.
+	Node int32
+	// Subset is the size of the embedded subset the node was looked up in.
+	Subset int
+}
+
+// Error names the missing source and the subset it was looked up in.
+func (e *NotInSubsetError) Error() string {
+	return fmt.Sprintf(
+		"treesvd: node %d is not in the embedded subset of %d sources (only subset nodes have a left factor; pick a source from Subset())",
+		e.Node, e.Subset)
+}
+
+// InvalidKError reports a Recommend call with a non-positive k. The top-k
+// contract is: k <= 0 is rejected with this error (a server maps it to
+// HTTP 400), and a k larger than the candidate set silently truncates to
+// every available candidate — see Snapshot.Recommend.
+type InvalidKError struct {
+	// K is the rejected top-k request size.
+	K int
+}
+
+// Error describes the rejected k and the valid range.
+func (e *InvalidKError) Error() string {
+	return fmt.Sprintf("treesvd: non-positive top-k request k=%d (k must be >= 1; oversized k truncates to the candidate count)", e.K)
+}
+
 // ShardConfigError reports a Config.Shards value the embedder cannot
 // honor: a negative count, or more shards than subset sources (every
 // shard must own at least one source row — an empty shard would publish

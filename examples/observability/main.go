@@ -71,8 +71,15 @@ func main() {
 	defer d.Close()
 
 	// One line mounts the metrics endpoint; both the durable wrapper and
-	// the plain Embedder expose the same registry.
-	go http.ListenAndServe("localhost:8077", d.MetricsRegistry())
+	// the plain Embedder expose the same registry. ListenAndServe only
+	// returns on failure (e.g. the port is taken) — swallowing that error
+	// would silently serve nothing, so fail loudly instead.
+	go func() {
+		if err := http.ListenAndServe("localhost:8077", d.MetricsRegistry()); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics endpoint:", err)
+			os.Exit(1)
+		}
+	}()
 	fmt.Println("metrics on http://localhost:8077/metrics — streaming snapshots:")
 
 	for t := 2; t <= stream.NumSnapshots(); t++ {

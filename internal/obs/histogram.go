@@ -64,9 +64,9 @@ func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(s
 // Max are lifetime aggregates; the quantiles are estimated from the most
 // recent ringSize observations.
 type HistStats struct {
-	Count         uint64
-	Sum, Min, Max int64
-	P50, P90, P99 int64
+	Count               uint64
+	Sum, Min, Max       int64
+	P50, P90, P99, P999 int64
 }
 
 // Mean returns Sum/Count, or 0 when empty.
@@ -105,6 +105,10 @@ func (h *Histogram) Snapshot() HistStats {
 	s.P50 = quantile(window, 0.50)
 	s.P90 = quantile(window, 0.90)
 	s.P99 = quantile(window, 0.99)
+	// With a 512-slot window the p999 is effectively the window max; it
+	// exists so latency SLOs (the serving layer's p999 target) read from
+	// the same surface as the rest of the quantiles.
+	s.P999 = quantile(window, 0.999)
 	return s
 }
 

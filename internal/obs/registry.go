@@ -219,8 +219,8 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 			fmt.Fprintf(&b, "%g", v.Gauge)
 		case KindHistogram:
 			h := v.Hist
-			fmt.Fprintf(&b, `{"count": %d, "sum": %d, "min": %d, "max": %d, "mean": %d, "p50": %d, "p90": %d, "p99": %d}`,
-				h.Count, h.Sum, h.Min, h.Max, h.Mean(), h.P50, h.P90, h.P99)
+			fmt.Fprintf(&b, `{"count": %d, "sum": %d, "min": %d, "max": %d, "mean": %d, "p50": %d, "p90": %d, "p99": %d, "p999": %d}`,
+				h.Count, h.Sum, h.Min, h.Max, h.Mean(), h.P50, h.P90, h.P99, h.P999)
 		}
 	}
 	b.WriteString("\n}\n")
@@ -256,6 +256,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n", v.quantileSeries("0.5"), h.P50)
 			fmt.Fprintf(&b, "%s %d\n", v.quantileSeries("0.9"), h.P90)
 			fmt.Fprintf(&b, "%s %d\n", v.quantileSeries("0.99"), h.P99)
+			fmt.Fprintf(&b, "%s %d\n", v.quantileSeries("0.999"), h.P999)
 			sumName, countName := v.Name+"_sum", v.Name+"_count"
 			if v.Labels != "" {
 				sumName += "{" + v.Labels + "}"

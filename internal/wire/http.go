@@ -1,0 +1,93 @@
+package wire
+
+// This file is the JSON half of the serving-layer wire schema: the DTOs
+// the HTTP server marshals and the client SDK unmarshals, plus the typed
+// error kinds that let the client reconstruct the facade's error family
+// (*InvalidKError, *NotInSubsetError, *NodeRangeError) from an HTTP
+// status + body instead of collapsing everything into "request failed".
+
+// Error kinds carried in ErrorDTO.Kind. The client switches on these to
+// rebuild typed errors; unknown kinds degrade to a generic API error, so
+// adding kinds is backward compatible.
+const (
+	// KindInvalidK maps to *treesvd.InvalidKError (HTTP 400).
+	KindInvalidK = "invalid_k"
+	// KindNotInSubset maps to *treesvd.NotInSubsetError (HTTP 404).
+	KindNotInSubset = "not_in_subset"
+	// KindNodeRange maps to *treesvd.NodeRangeError (HTTP 400).
+	KindNodeRange = "node_range"
+	// KindBadRequest is a malformed query/body with no richer type (400).
+	KindBadRequest = "bad_request"
+	// KindInternal is a server-side failure (HTTP 500).
+	KindInternal = "internal"
+)
+
+// ErrorDTO is the JSON error body every non-2xx response carries. Error
+// and Kind are always set; the remaining fields are populated per kind
+// (Node/Subset for not_in_subset, K for invalid_k, Index/Node/MaxNodes
+// for node_range).
+type ErrorDTO struct {
+	Error    string `json:"error"`
+	Kind     string `json:"kind"`
+	Node     int32  `json:"node,omitempty"`
+	Subset   int    `json:"subset,omitempty"`
+	K        int    `json:"k,omitempty"`
+	Index    int    `json:"index,omitempty"`
+	MaxNodes int    `json:"max_nodes,omitempty"`
+}
+
+// VersionDTO is the GET /v1/version response: the published snapshot
+// version plus the live graph/topology shape.
+type VersionDTO struct {
+	Version    uint64 `json:"version"`
+	NumNodes   int    `json:"num_nodes"`
+	NumEdges   int    `json:"num_edges"`
+	SubsetSize int    `json:"subset_size"`
+	Shards     int    `json:"shards"`
+}
+
+// RecDTO is one ranked recommendation in JSON form.
+type RecDTO struct {
+	Node  int32   `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// RecommendDTO is the GET /v1/recommend response.
+type RecommendDTO struct {
+	Version         uint64   `json:"version"`
+	Source          int32    `json:"source"`
+	Recommendations []RecDTO `json:"recommendations"`
+}
+
+// MatrixDTO is the GET /v1/embedding and /v1/rightembedding response:
+// row-major embedding rows frozen at one snapshot version. Nodes names
+// the graph node each row embeds (the subset for /v1/embedding, the
+// requested node(s) otherwise).
+type MatrixDTO struct {
+	Version uint64      `json:"version"`
+	Nodes   []int32     `json:"nodes"`
+	Rows    [][]float64 `json:"rows"`
+}
+
+// EventDTO is one edge event in JSON ingest form; Type is "insert" or
+// "delete".
+type EventDTO struct {
+	U    int32  `json:"u"`
+	V    int32  `json:"v"`
+	Type string `json:"type"`
+}
+
+// IngestDTO is the POST /v1/events JSON request body: one batch.
+type IngestDTO struct {
+	Events []EventDTO `json:"events"`
+}
+
+// ApplyDTO is the POST /v1/events response: batches/events accepted,
+// level-1 blocks re-factored, and the snapshot version the last batch
+// published.
+type ApplyDTO struct {
+	Batches int    `json:"batches"`
+	Events  int    `json:"events"`
+	Rebuilt int    `json:"rebuilt"`
+	Version uint64 `json:"version"`
+}

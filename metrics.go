@@ -64,7 +64,7 @@ type DurationStats struct {
 	Count uint64
 	Mean  time.Duration
 	// Min, Max and the quantiles describe the recent-window distribution.
-	Min, Max, P50, P90, P99 time.Duration
+	Min, Max, P50, P90, P99, P999 time.Duration
 }
 
 func durStats(h obs.HistStats) DurationStats {
@@ -76,6 +76,7 @@ func durStats(h obs.HistStats) DurationStats {
 		P50:   time.Duration(h.P50),
 		P90:   time.Duration(h.P90),
 		P99:   time.Duration(h.P99),
+		P999:  time.Duration(h.P999),
 	}
 }
 

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"sync"
+
+	"github.com/tree-svd/treesvd/internal/obs"
+)
+
+// endpointMetrics is one endpoint's request instrumentation, registered
+// under treesvd_http_*{endpoint="..."} labels in the embedder's own
+// registry — the serving layer shows up on the same /metrics page as the
+// pipeline it fronts.
+type endpointMetrics struct {
+	requests obs.Counter
+	errors   obs.Counter
+	nanos    obs.Histogram
+}
+
+// metrics is the server-side metric set for one embedder.
+type metrics struct {
+	inflight      obs.Gauge
+	ingestBatches obs.Counter
+	ingestEvents  obs.Counter
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	reg       *obs.Registry
+}
+
+// endpoints the server instruments; registered eagerly so the series
+// exist (at zero) before the first request.
+var endpointNames = []string{"version", "recommend", "embedding", "rightembedding", "ingest"}
+
+// registryMetrics caches one metrics set per obs.Registry. Registration
+// into a registry is permanent and duplicate registration panics, so a
+// server restart on the same embedder — the storm test's shutdown/
+// restart cycle, or any reconfigure-and-relisten — must reuse the set
+// registered by the first server rather than re-register.
+var registryMetrics sync.Map // *obs.Registry -> *metrics
+
+// metricsFor returns the (single) server metric set for reg, creating
+// and registering it on first use.
+func metricsFor(reg *obs.Registry) *metrics {
+	if m, ok := registryMetrics.Load(reg); ok {
+		return m.(*metrics)
+	}
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpointNames)), reg: reg}
+	actual, loaded := registryMetrics.LoadOrStore(reg, m)
+	if loaded {
+		return actual.(*metrics)
+	}
+	reg.Gauge("treesvd_http_inflight", "requests", "HTTP requests currently being served", &m.inflight)
+	reg.Counter("treesvd_http_ingest_batches_total", "batches",
+		"Event batches accepted over HTTP ingest", &m.ingestBatches)
+	reg.Counter("treesvd_http_ingest_events_total", "events",
+		"Edge events accepted over HTTP ingest", &m.ingestEvents)
+	for _, name := range endpointNames {
+		em := &endpointMetrics{}
+		m.endpoints[name] = em
+		ls := []obs.Label{{Key: "endpoint", Value: name}}
+		reg.CounterWith("treesvd_http_requests_total", ls, "requests",
+			"HTTP requests served, by endpoint", &em.requests)
+		reg.CounterWith("treesvd_http_errors_total", ls, "requests",
+			"HTTP requests answered with status >= 400, by endpoint", &em.errors)
+		reg.HistogramWith("treesvd_http_request_nanos", ls, "ns",
+			"Server-side wall time per HTTP request, by endpoint", &em.nanos)
+	}
+	return m
+}
+
+// endpoint returns the named endpoint's metric set.
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[name]
+	if !ok {
+		// Unknown endpoints get an unregistered set rather than a panic;
+		// the named ones are all registered eagerly above.
+		em = &endpointMetrics{}
+		m.endpoints[name] = em
+	}
+	return em
+}

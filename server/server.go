@@ -1,0 +1,210 @@
+// Package server exposes a treesvd.Embedder over HTTP: the snapshot-
+// isolated read path (Recommend, Embedding, RightEmbedding, Version) plus
+// a streaming ApplyEvents ingest endpoint, with the embedder's metric
+// registry and net/http/pprof mounted on the same mux. Responses are JSON
+// by default and switch to the compact binary frame codec (internal/wire)
+// by content negotiation, which matters for bulk embedding reads and
+// high-rate ingest.
+//
+// Endpoints:
+//
+//	GET  /v1/version                      snapshot version + graph shape
+//	GET  /v1/recommend?source=S&k=K       top-k candidates for subset node S
+//	GET  /v1/embedding[?node=S]           subset embedding X (or one row)
+//	GET  /v1/rightembedding[?node=V]      right embedding Y (or one row)
+//	POST /v1/events                       ingest: one JSON batch, or a
+//	                                      stream of binary event frames
+//	                                      (each frame = one batch)
+//	GET  /metrics                         obs registry (expvar JSON /
+//	                                      Prometheus text)
+//	GET  /debug/pprof/...                 pprof handlers
+//
+// Reads are lock-free: every request pins the currently published
+// Snapshot once and serves entirely from it, so a response is always
+// internally consistent (its version matches its payload) even while
+// ingest runs. Graceful shutdown stops the listener and drains in-flight
+// requests — each keeps serving against the snapshot it pinned.
+//
+// Typed errors cross the wire: *treesvd.InvalidKError maps to 400,
+// *treesvd.NotInSubsetError to 404, *treesvd.NodeRangeError to 400, each
+// with a machine-readable kind the client package converts back into the
+// same typed error the in-process facade would have returned.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	treesvd "github.com/tree-svd/treesvd"
+)
+
+// Ingestor accepts event batches; both *treesvd.Embedder and
+// *treesvd.DurableEmbedder satisfy it. The server validates nothing
+// itself — the embedder's up-front batch validation (Config.MaxNodes)
+// is the contract, and its *NodeRangeError maps to HTTP 400.
+type Ingestor interface {
+	ApplyEvents(ctx context.Context, events []treesvd.Event) (int, error)
+}
+
+// Options configures a Server. The zero value is usable.
+type Options struct {
+	// Ingest handles POST /v1/events. Nil means the embedder itself;
+	// pass the *treesvd.DurableEmbedder wrapping it to log batches to
+	// the WAL before they apply.
+	Ingest Ingestor
+	// MaxBatchEvents caps the events accepted per ingest batch (one JSON
+	// body or one binary frame). 0 means the default of 1<<20.
+	MaxBatchEvents int
+	// ReadHeaderTimeout bounds header parsing per request; 0 means 10s.
+	ReadHeaderTimeout time.Duration
+}
+
+// Server serves one Embedder. Create with New, start with Start (or
+// mount Handler on infrastructure you own), stop with Shutdown.
+type Server struct {
+	e        *treesvd.Embedder
+	ingest   Ingestor
+	rowOf    map[int32]int
+	subset   []int32
+	maxBatch int
+
+	met *metrics
+	mux *http.ServeMux
+
+	mu   sync.Mutex
+	hs   *http.Server
+	ln   net.Listener
+	done chan error
+
+	stopOnce sync.Once
+	stopErr  error
+}
+
+// New wires a server around e. The embedder keeps working as usual —
+// in-process ApplyEvents/Recommend callers and the HTTP surface share
+// the same snapshots and metrics registry.
+func New(e *treesvd.Embedder, opts Options) *Server {
+	ingest := opts.Ingest
+	if ingest == nil {
+		ingest = e
+	}
+	maxBatch := opts.MaxBatchEvents
+	if maxBatch <= 0 {
+		maxBatch = 1 << 20
+	}
+	subset := e.Subset()
+	rowOf := make(map[int32]int, len(subset))
+	for i, v := range subset {
+		rowOf[v] = i
+	}
+	s := &Server{
+		e:        e,
+		ingest:   ingest,
+		rowOf:    rowOf,
+		subset:   subset,
+		maxBatch: maxBatch,
+		met:      metricsFor(e.MetricsRegistry()),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
+	mux.HandleFunc("GET /v1/recommend", s.instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("GET /v1/embedding", s.instrument("embedding", s.handleEmbedding))
+	mux.HandleFunc("GET /v1/rightembedding", s.instrument("rightembedding", s.handleRightEmbedding))
+	mux.HandleFunc("POST /v1/events", s.instrument("ingest", s.handleIngest))
+	mux.Handle("/metrics", e.MetricsRegistry())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	s.hs = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: cmpOr(opts.ReadHeaderTimeout, 10*time.Second),
+	}
+	return s
+}
+
+// cmpOr returns v, or def when v is zero.
+func cmpOr(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Handler returns the server's mux, for mounting under a listener the
+// caller owns (e.g. httptest, or a shared edge mux). Start/Shutdown are
+// not needed in that mode.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (host:port; ":0" picks a free port — read it back
+// with Addr) and serves in a background goroutine until Shutdown. It
+// returns once the listener is bound, so a follow-up request cannot race
+// the bind.
+func (s *Server) Start(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.done = make(chan error, 1)
+	go func() { s.done <- s.hs.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL ("" before Start).
+func (s *Server) URL() string {
+	addr := s.Addr()
+	if addr == "" {
+		return ""
+	}
+	return "http://" + addr
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately
+// (new connections are refused) and in-flight requests drain — each
+// keeps serving from the snapshot it pinned at entry, so readers observe
+// a clean "complete response or connection refused", never a truncated
+// or mixed-version payload. ctx bounds the drain; on expiry remaining
+// connections are closed hard and ctx.Err() is returned.
+// Shutdown is idempotent: the first call performs the drain, later calls
+// (including concurrent ones) wait for it and return the same result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	ln, done := s.ln, s.done
+	s.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	s.stopOnce.Do(func() {
+		err := s.hs.Shutdown(ctx)
+		<-done // Serve has returned (http.ErrServerClosed on the clean path)
+		if err != nil {
+			s.hs.Close()
+			s.stopErr = fmt.Errorf("server: shutdown: %w", err)
+		}
+	})
+	return s.stopErr
+}

@@ -231,22 +231,29 @@ func mergeTopK(tops []recHeap, k int) []Recommendation {
 // version (ids the MaxNodes headroom reserves but the graph has not
 // reached yet are never returned); node s itself and its out-neighbors
 // are excluded. Results are ordered by descending score, ties by
-// ascending node id. It returns an error if s is not in the subset.
+// ascending node id.
+//
+// The k contract: k <= 0 is rejected with a *InvalidKError, and a k
+// larger than the candidate set truncates — the result simply holds every
+// scored candidate, which may be fewer than k (never an error). A source
+// that is not in the embedded subset is rejected with a
+// *NotInSubsetError. Both are deterministic input errors (a serving layer
+// maps them to HTTP 400 and 404); anything else is a real failure.
 //
 // On a sharded snapshot the scan scatters across contiguous candidate
 // ranges (one per shard, scored in parallel under the snapshot's worker
 // budget) and gathers the per-range top-k heaps into one ranked merge;
 // the result is provably identical to the single full scan.
 func (s *Snapshot) Recommend(src int32, k int) ([]Recommendation, error) {
+	if k <= 0 {
+		return nil, &InvalidKError{K: k}
+	}
 	row, ok := s.rowOf[src]
 	if !ok {
-		return nil, fmt.Errorf("treesvd: node %d is not in the embedded subset", src)
+		return nil, &NotInSubsetError{Node: src, Subset: len(s.subset)}
 	}
 	if s.rootSVD().Rank() == 0 {
 		return nil, fmt.Errorf("treesvd: empty factorization")
-	}
-	if k <= 0 {
-		return nil, nil
 	}
 	y := s.right()
 	xs := s.xMat().Row(row)
