@@ -12,12 +12,20 @@
 // per batch) because that is the only streaming form. Writes are never
 // retried by the SDK — ApplyEvents is not idempotent; callers own
 // replay decisions (or use the durable layer's WAL on the server side).
+//
+// Retries respect the caller's context deadline as a budget: the SDK
+// never sleeps a backoff past it, honors the server's Retry-After hint
+// when admission control sheds a request (503, *treesvd.OverloadError),
+// and does not retry a degraded server (503, *treesvd.DegradedError) —
+// that one needs an operator, not more traffic. See Client.get's policy
+// comment for the full contract.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -55,7 +63,10 @@ type Option func(*Client)
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
 // WithRetries sets how many times an idempotent read is retried after a
-// transport error or a 5xx (default 2; 0 disables). Writes are never
+// transport error or a 5xx (default 2; 0 disables — exactly one attempt
+// always). When the call's context carries a deadline and retries are
+// enabled, the deadline replaces the count as the budget: attempts
+// continue while their backoffs fit before it. Writes are never
 // retried.
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
@@ -245,6 +256,11 @@ func (c *Client) ApplyEventBatches(ctx context.Context, batches [][]treesvd.Even
 	}
 	req.Header.Set("Content-Type", wire.ContentType)
 	req.Header.Set("Accept", wire.ContentType)
+	if deadline, ok := ctx.Deadline(); ok {
+		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+			req.Header.Set(wire.TimeoutHeader, strconv.FormatInt(ms, 10))
+		}
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return ApplyResult{}, err
@@ -282,15 +298,45 @@ func (c *Client) getFrame(ctx context.Context, path string) ([]byte, error) {
 	return payload, err
 }
 
-// get runs one idempotent read with the retry/backoff policy: transport
-// errors and 5xx responses retry up to c.retries times; 4xx responses
-// are deterministic input errors and fail immediately, typed.
+// get runs one idempotent read with the retry/backoff policy.
+//
+// What retries: transport errors, 5xx responses, and torn or corrupt
+// payloads (the read is idempotent, so re-fetching a response the
+// network mangled is always safe). What never retries: 4xx responses
+// (deterministic input errors, returned typed) and a 503 carrying a
+// *treesvd.DegradedError — the server needs operator action, more
+// traffic is noise.
+//
+// How many times: without a context deadline, up to c.retries retries
+// as configured. With a deadline, the deadline is the budget — attempts
+// continue while it lasts, each backoff sleep is taken only if it fits,
+// and the loop fails fast with the last real error the moment the next
+// wait would cross the deadline; it never burns the caller's remaining
+// budget sleeping. A shed response's Retry-After hint floors the
+// backoff either way. The remaining budget also rides each request as
+// X-Timeout-Ms so the server abandons work the caller gave up on.
 func (c *Client) get(ctx context.Context, path, accept string, decode func(io.Reader) error) error {
 	var lastErr error
-	for attempt := 0; attempt <= c.retries; attempt++ {
+	deadline, hasDeadline := ctx.Deadline()
+	attempts := 0
+	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, c.backoffFor(attempt-1)); err != nil {
-				return err
+			if c.retries <= 0 {
+				break
+			}
+			if !hasDeadline && attempt > c.retries {
+				break
+			}
+			wait := c.backoffFor(attempt - 1)
+			var ove *treesvd.OverloadError
+			if errors.As(lastErr, &ove) && ove.RetryAfter > wait {
+				wait = ove.RetryAfter // the server's shed hint floors the backoff
+			}
+			if hasDeadline && time.Now().Add(wait).After(deadline) {
+				break // the wait would cross the deadline: fail fast instead
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				break // canceled mid-backoff
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
@@ -300,17 +346,28 @@ func (c *Client) get(ctx context.Context, path, accept string, decode func(io.Re
 		if accept != "" {
 			req.Header.Set("Accept", accept)
 		}
+		if hasDeadline {
+			if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+				req.Header.Set(wire.TimeoutHeader, strconv.FormatInt(ms, 10))
+			}
+		}
+		attempts++
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+			if ctx.Err() != nil && attempts == 1 {
+				return ctx.Err() // never got a real answer to report
 			}
 			lastErr = err
 			continue
 		}
 		if resp.StatusCode >= 500 {
-			lastErr = decodeError(resp)
+			err := decodeError(resp)
 			resp.Body.Close()
+			var dge *treesvd.DegradedError
+			if errors.As(err, &dge) {
+				return err
+			}
+			lastErr = err
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
@@ -320,9 +377,12 @@ func (c *Client) get(ctx context.Context, path, accept string, decode func(io.Re
 		}
 		err = decode(resp.Body)
 		resp.Body.Close()
-		return err
+		if err == nil {
+			return nil
+		}
+		lastErr = err
 	}
-	return fmt.Errorf("treesvd client: %d attempts failed: %w", c.retries+1, lastErr)
+	return fmt.Errorf("treesvd client: %d attempts failed: %w", attempts, lastErr)
 }
 
 // backoffFor returns the sleep before retry i (exponential, capped).
@@ -362,6 +422,31 @@ func decodeError(resp *http.Response) error {
 		return &treesvd.NotInSubsetError{Node: dto.Node, Subset: dto.Subset}
 	case wire.KindNodeRange:
 		return &treesvd.NodeRangeError{Index: dto.Index, Node: dto.Node, MaxNodes: dto.MaxNodes}
+	case wire.KindOverloaded:
+		ra := time.Duration(dto.RetryAfterMs) * time.Millisecond
+		if ra == 0 {
+			ra = retryAfterHint(resp)
+		}
+		return &treesvd.OverloadError{Endpoint: dto.Endpoint, RetryAfter: ra}
+	case wire.KindDegraded:
+		return &treesvd.DegradedError{Reason: dto.Reason}
 	}
 	return &APIError{Status: resp.StatusCode, Kind: dto.Kind, Message: dto.Error}
+}
+
+// retryAfterHint reads the server's backoff hint off the response
+// headers: the sub-second X-Retry-After-Ms when present, else the
+// standard whole-second Retry-After. Zero when neither parses.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if raw := resp.Header.Get(wire.RetryAfterHeader); raw != "" {
+		if ms, err := strconv.ParseInt(raw, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	if raw := resp.Header.Get("Retry-After"); raw != "" {
+		if s, err := strconv.ParseInt(raw, 10, 64); err == nil && s > 0 {
+			return time.Duration(s) * time.Second
+		}
+	}
+	return 0
 }

@@ -160,23 +160,152 @@ func TestUnparsableErrorBody(t *testing.T) {
 	}
 }
 
-// Context cancellation cuts the retry loop short instead of sleeping out
-// the backoff schedule.
-func TestContextCancelDuringBackoff(t *testing.T) {
+// A backoff that cannot fit inside the caller's deadline is never
+// slept: the client fails fast with the last real error instead of
+// burning the remaining budget waiting for a retry it cannot make.
+func TestDeadlineCutsBackoffShort(t *testing.T) {
 	ts, attempts := fakeServer(t, 100, http.StatusInternalServerError, versionHandler)
 	c := New(ts.URL, WithRetries(10), WithBackoff(time.Hour, time.Hour))
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
 	_, err := c.Version(ctx)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("want DeadlineExceeded, got %v", err)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("want the last *APIError 500, got %v", err)
 	}
-	if time.Since(start) > 5*time.Second {
-		t.Fatal("cancellation did not interrupt the backoff sleep")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("took %v: the 1h backoff was slept instead of skipped", elapsed)
 	}
 	if attempts.Load() != 1 {
 		t.Fatalf("attempts = %d, want 1 before the deadline", attempts.Load())
+	}
+}
+
+// With a deadline, the deadline is the retry budget: attempts continue
+// past the configured retry count while backoffs still fit.
+func TestDeadlineExtendsAttempts(t *testing.T) {
+	ts, attempts := fakeServer(t, 4, http.StatusInternalServerError, versionHandler)
+	c := New(ts.URL, WithRetries(1), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ver, err := c.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver.Version != 42 || attempts.Load() != 5 {
+		t.Fatalf("version=%d attempts=%d, want 42 after 5 attempts under the deadline budget", ver.Version, attempts.Load())
+	}
+}
+
+// WithRetries(0) means exactly one attempt regardless of deadline —
+// load generators rely on it to observe sheds instead of hiding them.
+func TestRetriesZeroSingleAttempt(t *testing.T) {
+	ts, attempts := fakeServer(t, 100, http.StatusInternalServerError, versionHandler)
+	c := New(ts.URL, WithRetries(0))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := c.Version(ctx)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || attempts.Load() != 1 {
+		t.Fatalf("err=%v attempts=%d, want one *APIError attempt", err, attempts.Load())
+	}
+}
+
+// A shed 503 comes back as *treesvd.OverloadError and its Retry-After
+// hint floors the backoff before the retry.
+func TestOverloadRetryAfterHonored(t *testing.T) {
+	const hintMs = 120
+	var attempts atomic.Int64
+	var gap atomic.Int64
+	var last atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 {
+			gap.Store(now - prev)
+		}
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set(wire.RetryAfterHeader, "120")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(wire.ErrorDTO{
+				Error: "shed", Kind: wire.KindOverloaded, Endpoint: "recommend", RetryAfterMs: hintMs,
+			})
+			return
+		}
+		versionHandler(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	ver, err := c.Version(context.Background())
+	if err != nil || ver.Version != 42 {
+		t.Fatalf("version=%d err=%v, want a clean retry", ver.Version, err)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts.Load())
+	}
+	if got := time.Duration(gap.Load()); got < hintMs*time.Millisecond {
+		t.Fatalf("retry after %v, want at least the server's %dms hint", got, hintMs)
+	}
+}
+
+// The shed error itself is typed when retries run out.
+func TestOverloadErrorTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(wire.ErrorDTO{
+			Error: "shed", Kind: wire.KindOverloaded, Endpoint: "recommend", RetryAfterMs: 50,
+		})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(0))
+	_, err := c.Version(context.Background())
+	var ove *treesvd.OverloadError
+	if !errors.As(err, &ove) || ove.Endpoint != "recommend" || ove.RetryAfter != 50*time.Millisecond {
+		t.Fatalf("want *OverloadError{recommend, 50ms}, got %v", err)
+	}
+}
+
+// A degraded 503 is not retried: the server needs an operator, not
+// more traffic.
+func TestNoRetryOnDegraded(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(wire.ErrorDTO{
+			Error: "sealed", Kind: wire.KindDegraded, Reason: "wal append failed",
+		})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(5), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Version(context.Background())
+	var dge *treesvd.DegradedError
+	if !errors.As(err, &dge) || dge.Reason != "wal append failed" {
+		t.Fatalf("want *DegradedError, got %v", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("degraded 503 retried: %d attempts", attempts.Load())
+	}
+}
+
+// A response that arrives torn (connection cut mid-body) retries like
+// any transport failure — the read is idempotent.
+func TestRetryOnTornResponse(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Content-Length", "1000")
+			w.Write([]byte(`{"version":`)) // then the handler returns: torn body
+			return
+		}
+		versionHandler(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	ver, err := c.Version(context.Background())
+	if err != nil || ver.Version != 42 {
+		t.Fatalf("version=%d err=%v attempts=%d, want a clean retry", ver.Version, err, attempts.Load())
 	}
 }
 

@@ -11,8 +11,11 @@
 //	serve -load state.bin -addr :8080
 //	serve -synthetic -nodes 20000 -edges 120000 -subset 256 -dim 32
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
-// in-flight requests drain (bounded by -drain) before the process exits.
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503,
+// the listener closes, then in-flight requests drain (bounded by
+// -shutdown-timeout) before the process exits. If the listener dies on
+// its own (port stolen, fd exhaustion) the process exits non-zero
+// instead of lingering as a zombie that answers nothing.
 package main
 
 import (
@@ -44,7 +47,7 @@ func main() {
 		maxNodes  = flag.Int("maxnodes", 0, "synthetic: node capacity headroom (0 = 2x initial)")
 		seed      = flag.Int64("seed", 1, "synthetic: graph + subset seed")
 		batchCap  = flag.Int("batchcap", 0, "max events per ingest batch (0 = server default)")
-		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		drain     = flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
 
@@ -77,12 +80,24 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	s := <-sig
-	fmt.Printf("serve: %v: draining (up to %v)\n", s, *drain)
+	select {
+	case s := <-sig:
+		fmt.Printf("serve: %v: readiness ready -> draining, shedding new work (up to %v)\n", s, *drain)
+	case <-srv.ServeDone():
+		// The accept loop died without being asked to — surface the
+		// cause and exit non-zero so supervisors restart us.
+		if err := srv.ServeErr(); err != nil {
+			fail(fmt.Errorf("listener failed: %w", err))
+		}
+		fail(fmt.Errorf("listener closed unexpectedly"))
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fail(err)
+	}
+	if err := srv.ServeErr(); err != nil {
+		fail(fmt.Errorf("serve: %w", err))
 	}
 	fmt.Println("serve: drained, bye")
 }

@@ -134,6 +134,11 @@ type RecoveryInfo struct {
 // Rebuild directly on the wrapped Embedder would mutate state the log
 // knows nothing about. Reads (Embedding, Snapshot, Recommend, ...) go to
 // the wrapped Embedder and stay lock-free.
+//
+// A WAL append failure (full disk, fsync error) seals the embedder into
+// read-only degraded mode: ingest returns a *DegradedError, reads keep
+// serving the last published snapshot, Degraded reports the cause, and
+// Reopen re-arms the WAL once the operator has cleared the fault.
 type DurableEmbedder struct {
 	fs  wal.FS
 	dir string
@@ -150,6 +155,12 @@ type DurableEmbedder struct {
 	// idempotent.
 	pending   []Event
 	sinceCkpt int
+
+	// degraded is the WAL I/O failure that sealed the embedder read-only
+	// (nil while healthy); sealedNext is the writer's next sequence at
+	// seal time, the point Reopen resumes the log from. Guarded by mu.
+	degraded   error
+	sealedNext uint64
 
 	ckptWG   sync.WaitGroup
 	ckptMu   sync.Mutex // guards the fields below; never held with mu
@@ -454,6 +465,9 @@ func (d *DurableEmbedder) ApplyEvents(ctx context.Context, events []Event) (int,
 	if d.closed {
 		return 0, errClosed
 	}
+	if d.degraded != nil {
+		return 0, &DegradedError{Reason: "wal append failed", Err: d.degraded}
+	}
 	if err := d.retryPendingLocked(ctx); err != nil {
 		return 0, err
 	}
@@ -462,7 +476,8 @@ func (d *DurableEmbedder) ApplyEvents(ctx context.Context, events []Event) (int,
 	}
 	seq, err := d.w.Append(wal.EncodeEvents(events))
 	if err != nil {
-		return 0, fmt.Errorf("treesvd: wal append: %w", err)
+		d.sealLocked(err)
+		return 0, &DegradedError{Reason: "wal append failed", Err: err}
 	}
 	rebuilt, err := d.e.ApplyEvents(ctx, events)
 	if err != nil {
@@ -474,6 +489,96 @@ func (d *DurableEmbedder) ApplyEvents(ctx context.Context, events []Event) (int,
 		return rebuilt, err
 	}
 	return rebuilt, nil
+}
+
+// sealLocked flips the embedder into read-only degraded mode after a WAL
+// append failure. Reads keep serving the published snapshot; every
+// further ApplyEvents returns a *DegradedError until Reopen. Caller
+// holds d.mu.
+func (d *DurableEmbedder) sealLocked(cause error) {
+	d.degraded = cause
+	d.sealedNext = d.w.NextSeq()
+	d.met.degraded.Set(1)
+	d.met.seals.Inc()
+	if h := d.cfg.Trace; h != nil {
+		h(TraceEvent{Kind: TraceDegraded, Seq: d.sealedNext, Block: -1, Err: cause})
+	}
+}
+
+// Degraded returns the WAL I/O failure that sealed the embedder into
+// read-only degraded mode, or nil while ingest is healthy. The serving
+// layer's /readyz probes it.
+func (d *DurableEmbedder) Degraded() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
+}
+
+// Reopen re-arms the WAL after the fault behind degraded mode has been
+// cleared (disk space freed, volume remounted): it repairs the log tail,
+// folds in any record that reached the log but never memory — a failed
+// fsync can leave the record bytes fully persisted even though the
+// append erred, and the writer poisons itself after the first failure,
+// so at most one such record exists — and opens a fresh writer at the
+// continuation sequence. On success ingest works again; on failure the
+// embedder stays degraded and Reopen can be retried. A no-op when not
+// degraded.
+func (d *DurableEmbedder) Reopen() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	if d.degraded == nil {
+		return nil
+	}
+	// Best effort: the poisoned writer reports the sealing error again;
+	// what matters is releasing its file handle.
+	d.w.Close()
+	// Repair the tail on disk first — NewWriter requires it: a torn
+	// record left by the failed append is truncated and a zero-record
+	// tail segment removed, so the fresh segment's name cannot collide.
+	rec, err := wal.Recover(d.fs, d.dir, false)
+	if err != nil {
+		return asCorruptState(err)
+	}
+	next := d.sealedNext
+	for _, r := range rec.Records {
+		if r.Seq < d.sealedNext {
+			continue // applied before the seal
+		}
+		if r.Seq != next {
+			return &CorruptStateError{Path: d.dir, Offset: -1,
+				Reason: fmt.Sprintf("reopen: log resumes at batch %d, expected %d", r.Seq, next)}
+		}
+		events, err := wal.DecodeEvents(r.Payload)
+		if err != nil {
+			return &CorruptStateError{Path: d.dir, Offset: -1,
+				Reason: fmt.Sprintf("reopen: logged batch %d does not decode", r.Seq), Err: err}
+		}
+		if _, err := d.e.ApplyEvents(context.Background(), events); err != nil {
+			return fmt.Errorf("treesvd: reopen: applying logged batch %d: %w", r.Seq, err)
+		}
+		d.sinceCkpt++
+		next++
+		// Advance the seal watermark as each record folds in, so a Reopen
+		// that fails later (the disk is still full when the fresh writer
+		// opens) never replays the same record twice on retry.
+		d.sealedNext = next
+	}
+	w, err := wal.NewWriter(d.fs, d.dir, next, d.cfg.walOptions(&d.met.wal))
+	if err != nil {
+		return fmt.Errorf("treesvd: reopen: %w", err)
+	}
+	d.w = w
+	d.degraded = nil
+	d.sealedNext = 0
+	d.met.degraded.Set(0)
+	d.met.reopens.Inc()
+	if h := d.cfg.Trace; h != nil {
+		h(TraceEvent{Kind: TraceDegraded, Seq: next, Block: -1})
+	}
+	return nil
 }
 
 // retryPendingLocked re-applies a logged-but-unapplied batch. Caller
@@ -628,7 +733,9 @@ func (d *DurableEmbedder) Close() error {
 	d.ckptMu.Lock()
 	err := d.ckptErr
 	d.ckptMu.Unlock()
-	if werr := d.w.Close(); err == nil {
+	// A degraded store's poisoned writer reports its sealing error again
+	// on Close; that failure already reached the caller when it happened.
+	if werr := d.w.Close(); err == nil && d.degraded == nil {
 		err = werr
 	}
 	return err

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/tree-svd/treesvd/internal/dataset"
@@ -412,6 +413,185 @@ func runCrashMatrix(t *testing.T, fx *durableFixture) {
 			t.Logf("%s: %d fault points verified", tc.name, points)
 		})
 	}
+}
+
+// matClose is the non-fatal form of requireMatClose, for probing which
+// shadow prefix a state corresponds to.
+func matClose(got, want [][]float64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range want[i] {
+			if d := math.Abs(got[i][j] - want[i][j]); d > 1e-9*(1+math.Abs(want[i][j])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDiskFullDegradedReopen sweeps an injected ENOSPC across every
+// write and fsync of the workload. At each fault point the store must
+// either seal into read-only degraded mode (a WAL append failed: reads
+// keep serving the pre-fault snapshot, further ingest returns a typed
+// *DegradedError) or surface a plain checkpoint error with the batch
+// still applied. After the operator clears the fault, Reopen must
+// restore ingest, the rest of the stream must apply, and a final
+// Close/Open round trip must land on the full-stream shadow — no
+// acknowledged batch lost anywhere in the sweep.
+func TestDiskFullDegradedReopen(t *testing.T) {
+	fx := newDurableFixture(t)
+	var traceMu sync.Mutex
+	seals, reopens := 0, 0
+	cfg := fx.cfg
+	cfg.Trace = func(ev TraceEvent) {
+		if ev.Kind != TraceDegraded {
+			return
+		}
+		traceMu.Lock()
+		if ev.Err != nil {
+			seals++
+		} else {
+			reopens++
+		}
+		traceMu.Unlock()
+	}
+	points, degradedPoints := 0, 0
+	for k := 1; ; k++ {
+		dir := t.TempDir()
+		ffs := faultfs.Wrap(wal.OS, faultfs.Plan{FailAt: k, Mode: faultfs.DiskFull})
+		label := fmt.Sprintf("diskfull@%d", k)
+		d, err := CreateWithFS(ffs, dir, fx.initial.Clone(), fx.subset, cfg)
+		if err != nil {
+			if !ffs.Fired() {
+				t.Fatalf("%s: Create failed without the fault firing: %v", label, err)
+			}
+			if !errors.Is(err, faultfs.ErrDiskFull) {
+				t.Fatalf("%s: Create failed with %v, want ErrDiskFull", label, err)
+			}
+			// The disk filled during Create: nothing was ever acknowledged.
+			// Once space frees, the directory either never committed its
+			// first checkpoint (ErrNoState) or recovers to the empty prefix.
+			ffs.Clear()
+			if d2, err := OpenWithFS(ffs, dir, cfg); err == nil {
+				requireMatClose(t, d2.Embedder().Embedding(), fx.shadow[0], label+" post-create-fault embedding")
+				d2.Close()
+			} else if !errors.Is(err, ErrNoState) {
+				t.Fatalf("%s: Open after cleared create fault: %v", label, err)
+			}
+			points++
+			continue
+		}
+
+		applied := 0
+		sealed := false
+		for applied < len(fx.batches) {
+			_, err := d.ApplyEvents(nil, fx.batches[applied])
+			if err == nil {
+				applied++
+				continue
+			}
+			if !ffs.Fired() {
+				t.Fatalf("%s: batch %d failed without the fault firing: %v", label, applied, err)
+			}
+			var de *DegradedError
+			if errors.As(err, &de) {
+				sealed = true
+				if !errors.Is(err, faultfs.ErrDiskFull) {
+					t.Fatalf("%s: DegradedError does not wrap ErrDiskFull: %v", label, err)
+				}
+				if d.Degraded() == nil {
+					t.Fatalf("%s: DegradedError returned but Degraded() is nil", label)
+				}
+				// Reads keep serving the last published snapshot.
+				requireMatClose(t, d.Embedder().Embedding(), fx.shadow[applied], label+" degraded reads")
+				// Ingest stays sealed until Reopen, even after retrying.
+				if _, err := d.ApplyEvents(nil, fx.batches[applied]); !errors.As(err, &de) {
+					t.Fatalf("%s: ingest while degraded returned %v, want *DegradedError", label, err)
+				}
+				// Reopen before the fault clears fails and stays degraded.
+				if err := d.Reopen(); err == nil {
+					t.Fatalf("%s: Reopen succeeded while the disk is still full", label)
+				}
+				if d.Degraded() == nil {
+					t.Fatalf("%s: failed Reopen cleared degraded mode", label)
+				}
+				ffs.Clear()
+				if err := d.Reopen(); err != nil {
+					t.Fatalf("%s: Reopen after clearing the fault: %v", label, err)
+				}
+				if d.Degraded() != nil {
+					t.Fatalf("%s: Reopen left the store degraded", label)
+				}
+				// A failed fsync can leave the unacknowledged batch fully
+				// logged; Reopen folds it in so memory matches replay.
+				if matClose(d.Embedder().Embedding(), fx.shadow[applied+1]) {
+					applied++
+				} else {
+					requireMatClose(t, d.Embedder().Embedding(), fx.shadow[applied], label+" reopened embedding")
+				}
+				continue
+			}
+			// Not an append failure: the checkpoint I/O hit ENOSPC after the
+			// batch was logged and applied. The store must not be sealed.
+			if d.Degraded() != nil {
+				t.Fatalf("%s: checkpoint failure sealed the store: %v", label, err)
+			}
+			applied++
+			ffs.Clear()
+		}
+		if sealed {
+			degradedPoints++
+		}
+		requireMatClose(t, d.Embedder().Embedding(), fx.shadow[len(fx.batches)], label+" final embedding")
+		// The sweep tail pushes the fault into the epilogue — shutdown
+		// checkpoint, directory reopen, the post-recovery probe. An ENOSPC
+		// there is operator-visible but must not lose acked data either.
+		tolerateDiskFull := func(stage string, err error) {
+			t.Helper()
+			if err == nil {
+				return
+			}
+			if !ffs.Fired() || !errors.Is(err, faultfs.ErrDiskFull) {
+				t.Fatalf("%s: %s: %v", label, stage, err)
+			}
+			ffs.Clear()
+		}
+		tolerateDiskFull("Close", d.Close())
+		// The directory must recover to the full stream on a fresh Open.
+		d2, err := OpenWithFS(ffs, dir, cfg)
+		if err != nil {
+			tolerateDiskFull("reopen directory", err)
+			if d2, err = OpenWithFS(ffs, dir, cfg); err != nil {
+				t.Fatalf("%s: reopen directory after clearing the fault: %v", label, err)
+			}
+		}
+		requireMatClose(t, d2.Embedder().Embedding(), fx.shadow[len(fx.batches)], label+" recovered embedding")
+		if _, err := d2.ApplyEvents(nil, []Event{{U: 1, V: 2, Type: Insert}}); err != nil {
+			tolerateDiskFull("post-recovery ApplyEvents", err)
+		}
+		tolerateDiskFull("post-recovery Close", d2.Close())
+		points++
+		if !ffs.Fired() {
+			break // swept past the last write/sync: matrix complete
+		}
+	}
+	if points < 10 || degradedPoints < 3 {
+		t.Fatalf("sweep visited %d fault points, %d of them degraded — the workload shrank?", points, degradedPoints)
+	}
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	// Every mid-stream seal was Reopened; the epilogue probe can add seals
+	// that are closed out without a Reopen, so seals may exceed reopens.
+	if reopens != degradedPoints || seals < degradedPoints {
+		t.Fatalf("TraceDegraded fired %d seals / %d reopens, want >=%d seals and exactly %d reopens",
+			seals, reopens, degradedPoints, degradedPoints)
+	}
+	t.Logf("diskfull: %d fault points verified, %d sealed into degraded mode", points, degradedPoints)
 }
 
 // TestShardedDurableRoundTrip is the sharded create/run/reopen parity

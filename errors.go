@@ -1,6 +1,9 @@
 package treesvd
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // NodeRangeError reports an event whose node id falls outside the
 // embedder's fixed proximity width (the Config.MaxNodes contract).
@@ -85,6 +88,66 @@ func (e *ShardConfigError) Error() string {
 		"treesvd: %d shards for a subset of %d sources; every shard must own at least one source (set Config.Shards in [1, %d])",
 		e.Shards, e.Subset, e.Subset)
 }
+
+// OverloadError reports a request the serving layer's admission control
+// refused: every in-flight slot for the endpoint was taken and the wait
+// queue was full (or the request's remaining deadline budget could not
+// cover the wait). The server maps it to HTTP 503 with a Retry-After
+// hint, and the client SDK reconstructs it on the other side, so both
+// in-process and remote callers can distinguish "come back later" from a
+// real failure:
+//
+//	var oe *treesvd.OverloadError
+//	if errors.As(err, &oe) { time.Sleep(oe.RetryAfter); ... }
+type OverloadError struct {
+	// Endpoint names the admission gate that shed the request
+	// ("recommend", "ingest", ...).
+	Endpoint string
+	// RetryAfter is the server's backoff hint; zero means "unknown, use
+	// your own backoff".
+	RetryAfter time.Duration
+}
+
+// Error names the shedding endpoint and the retry hint.
+func (e *OverloadError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("treesvd: overloaded: endpoint %q shed the request (retry after %v)", e.Endpoint, e.RetryAfter)
+	}
+	return fmt.Sprintf("treesvd: overloaded: endpoint %q shed the request", e.Endpoint)
+}
+
+// DegradedError reports an update rejected because the durable embedder
+// sealed itself into read-only degraded mode after a persistent WAL I/O
+// failure (a full disk, an fsync error). Reads keep serving the last
+// published snapshot; ingest returns this error until the operator
+// clears the underlying fault and calls DurableEmbedder.Reopen. The
+// server maps it to HTTP 503 (kind "degraded") and the client SDK
+// reconstructs it, unlike an OverloadError it is not worth retrying
+// without operator action:
+//
+//	var de *treesvd.DegradedError
+//	if errors.As(err, &de) { page the operator }
+type DegradedError struct {
+	// Reason describes the transition ("wal append failed").
+	Reason string
+	// Err is the I/O failure that sealed the embedder, when known.
+	Err error
+}
+
+// Error describes the degraded state and its cause.
+func (e *DegradedError) Error() string {
+	msg := "treesvd: embedder is in read-only degraded mode"
+	if e.Reason != "" {
+		msg += " (" + e.Reason + ")"
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap returns the sealing I/O error for errors.Is/As chains.
+func (e *DegradedError) Unwrap() error { return e.Err }
 
 // CorruptStateError reports persisted state that failed an integrity
 // check: a checksum mismatch, a structurally inconsistent save, a broken

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"syscall"
 
 	"github.com/tree-svd/treesvd/internal/wal"
 )
@@ -20,6 +21,12 @@ import (
 // Crash fires, all further operations — reads included — return it, the
 // way a dead process performs no further I/O.
 var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrDiskFull is returned by every mutating operation once a DiskFull
+// plan fires, until Clear. It wraps syscall.ENOSPC so code matching the
+// real-world errno (errors.Is(err, syscall.ENOSPC)) sees the injected
+// fault the same way.
+var ErrDiskFull = fmt.Errorf("faultfs: injected disk full: %w", syscall.ENOSPC)
 
 // Mode selects the failure the plan injects.
 type Mode int
@@ -36,6 +43,12 @@ const (
 	// SyncError makes the FailAt-th Sync/SyncDir fail without making the
 	// data durable; the process keeps running.
 	SyncError
+	// DiskFull models ENOSPC: the disk fills at the FailAt-th write or
+	// sync, and from then on every mutating operation fails with
+	// ErrDiskFull while reads keep working — the process keeps running.
+	// Clear drains the disk again (the operator freed space), after which
+	// everything succeeds.
+	DiskFull
 )
 
 func (m Mode) String() string {
@@ -46,6 +59,8 @@ func (m Mode) String() string {
 		return "bitflip"
 	case SyncError:
 		return "syncerr"
+	case DiskFull:
+		return "diskfull"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -55,7 +70,8 @@ type Plan struct {
 	// FailAt is the 1-based index of the operation to fail; 0 disables
 	// injection. Crash counts every mutating op (Create, Write, Sync,
 	// Rename, Remove, Truncate, SyncDir); BitFlip counts only Writes;
-	// SyncError counts only Sync/SyncDir.
+	// SyncError counts only Sync/SyncDir; DiskFull counts Writes and
+	// Sync/SyncDir (the ops a real ENOSPC surfaces on).
 	FailAt int
 	Mode   Mode
 	// TornFrac is the fraction of a crashed write's bytes that still
@@ -77,6 +93,7 @@ type FS struct {
 	ops     int
 	fired   bool
 	crashed bool
+	full    bool // DiskFull fired and has not been Cleared
 	// size and synced track, per path, the current length and the length
 	// known durable (advanced by Sync), for DropUnsynced rollback. Only
 	// files created through this FS are tracked; anything else is treated
@@ -114,6 +131,21 @@ func (f *FS) Ops() int {
 	return f.ops
 }
 
+// Full reports whether the FS is in the post-DiskFull state.
+func (f *FS) Full() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.full
+}
+
+// Clear ends a DiskFull fault: the operator freed space, mutating
+// operations succeed again. A no-op for every other mode.
+func (f *FS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.full = false
+}
+
 // op categories for counting.
 type opKind int
 
@@ -131,6 +163,11 @@ func (f *FS) arm(kind opKind) (inject bool, err error) {
 	if f.crashed {
 		return false, ErrInjected
 	}
+	if f.full {
+		// Every mutating op fails while the disk is full; arm is only
+		// called for mutating ops, so no kind check is needed.
+		return false, ErrDiskFull
+	}
 	counted := false
 	switch f.plan.Mode {
 	case Crash:
@@ -139,6 +176,8 @@ func (f *FS) arm(kind opKind) (inject bool, err error) {
 		counted = kind == opWrite
 	case SyncError:
 		counted = kind == opSync
+	case DiskFull:
+		counted = kind == opWrite || kind == opSync
 	}
 	if !counted || f.plan.FailAt <= 0 {
 		return false, nil
@@ -157,6 +196,9 @@ func (f *FS) arm(kind opKind) (inject bool, err error) {
 		return true, nil
 	case BitFlip, SyncError:
 		return true, nil
+	case DiskFull:
+		f.full = true
+		return false, ErrDiskFull
 	}
 	return false, nil
 }

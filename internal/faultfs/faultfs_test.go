@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 
 	"github.com/tree-svd/treesvd/internal/wal"
@@ -176,6 +177,59 @@ func TestSyncError(t *testing.T) {
 		t.Fatal("sync error must not latch a crash")
 	}
 	// The process keeps running: later operations succeed.
+	f, err := fs.Create(filepath.Join(dir, "after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskFullThenClear(t *testing.T) {
+	dir := t.TempDir()
+	// Writes and syncs count: a.Write (1), a.Sync (2), a.Write (3) — the
+	// disk fills on the second write of file a.
+	fs := Wrap(wal.OS, Plan{FailAt: 3, Mode: DiskFull})
+	err := workload(dir, fs)
+	if !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("workload error %v, want ErrDiskFull", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatal("ErrDiskFull must wrap syscall.ENOSPC")
+	}
+	if !fs.Full() || fs.Crashed() {
+		t.Fatalf("state full=%v crashed=%v, want full and not crashed", fs.Full(), fs.Crashed())
+	}
+	// The synced prefix survives; the failed write reached nothing.
+	data, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(data) != "aaaaaaaaaa" {
+		t.Fatalf("file a = %q, %v; want the first 10 bytes only", data, err)
+	}
+	// While full, every mutating op fails but reads keep working.
+	if _, err := fs.Create(filepath.Join(dir, "c")); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("Create while full: %v, want ErrDiskFull", err)
+	}
+	if err := fs.SyncDir(dir); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("SyncDir while full: %v, want ErrDiskFull", err)
+	}
+	if _, err := fs.Open(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("Open while full: %v, want reads to keep working", err)
+	}
+	if _, err := fs.ReadDir(dir); err != nil {
+		t.Fatalf("ReadDir while full: %v", err)
+	}
+	// Clear models the operator freeing space: everything works again.
+	fs.Clear()
+	if fs.Full() {
+		t.Fatal("Clear did not clear")
+	}
 	f, err := fs.Create(filepath.Join(dir, "after"))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,220 @@
+// Package netfault wraps a net.Listener with scripted connection faults
+// — resets, latency spikes, partial writes, and byte corruption — so the
+// serving stack can be stormed with the network failures production
+// clients actually cause. Faults are deterministic: the plan selects
+// which accepted connections misbehave (every Nth, after a skip) and at
+// which byte offset the fault lands, so a failing storm run replays.
+//
+// Each faulted connection misbehaves once (one-shot) and in one
+// direction; everything else passes through. A partial write or a
+// corrupted response stream is exactly what the wire package's
+// torn-versus-corrupt frame classifier exists to tell apart, so the
+// chaos suite drives both through it.
+package netfault
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Mode selects the fault a marked connection injects.
+type Mode int
+
+const (
+	// Reset closes the connection with a TCP RST (SO_LINGER 0) once the
+	// response stream reaches AfterBytes — the mid-response connection
+	// loss a crashing peer or flipped LB produces.
+	Reset Mode = iota
+	// Latency stalls the first response write by Delay, once — a
+	// network hiccup the request eventually survives.
+	Latency
+	// PartialWrite forwards the response only up to AfterBytes, then
+	// resets: the client sees a torn prefix (io.ErrUnexpectedEOF land).
+	PartialWrite
+	// CorruptWrite flips one bit in the response byte at offset
+	// AfterBytes and carries on — the stream stays the right length but
+	// fails checksum verification (wire.ErrCorruptFrame land).
+	CorruptWrite
+	// CorruptRead flips one bit in the request byte at offset
+	// AfterBytes: the server-side decoder sees the corruption.
+	CorruptRead
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Reset:
+		return "reset"
+	case Latency:
+		return "latency"
+	case PartialWrite:
+		return "partialwrite"
+	case CorruptWrite:
+		return "corruptwrite"
+	case CorruptRead:
+		return "corruptread"
+	}
+	return "unknown"
+}
+
+// Plan scripts which connections fault and how.
+type Plan struct {
+	Mode Mode
+	// EveryN marks every Nth accepted connection (after SkipFirst) as
+	// faulted; 0 or 1 means every connection.
+	EveryN int
+	// SkipFirst lets the first K connections through untouched (e.g. a
+	// warmup or health check).
+	SkipFirst int
+	// Delay is the Latency stall; 0 means 50ms.
+	Delay time.Duration
+	// AfterBytes is the byte offset in the faulted direction's stream
+	// where the fault lands (Reset/PartialWrite cut there, Corrupt*
+	// flips the bit there). 0 faults at the first byte.
+	AfterBytes int
+}
+
+// Listener wraps an inner listener; obtain one with Wrap and serve on
+// it as usual. Safe for concurrent use.
+type Listener struct {
+	net.Listener
+	plan Plan
+
+	mu       sync.Mutex
+	accepted int
+	faulted  int
+}
+
+// Wrap returns a fault-injecting view of ln.
+func Wrap(ln net.Listener, plan Plan) *Listener {
+	if plan.EveryN <= 0 {
+		plan.EveryN = 1
+	}
+	if plan.Delay <= 0 {
+		plan.Delay = 50 * time.Millisecond
+	}
+	return &Listener{Listener: ln, plan: plan}
+}
+
+// Accept accepts the next connection, wrapping it with the fault when
+// the plan marks it.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.accepted++
+	marked := l.accepted > l.plan.SkipFirst &&
+		(l.accepted-l.plan.SkipFirst-1)%l.plan.EveryN == 0
+	if marked {
+		l.faulted++
+	}
+	l.mu.Unlock()
+	if !marked {
+		return c, nil
+	}
+	return &conn{Conn: c, plan: l.plan}, nil
+}
+
+// Accepted returns how many connections have been accepted.
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+// Faulted returns how many connections were marked to misbehave.
+func (l *Listener) Faulted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.faulted
+}
+
+// conn is one marked connection. The fault is one-shot: once delivered,
+// the connection behaves normally (if it still exists).
+type conn struct {
+	net.Conn
+	plan Plan
+
+	mu         sync.Mutex
+	rOff, wOff int
+	fired      bool
+}
+
+// reset closes the connection so the peer sees a hard RST rather than a
+// graceful FIN, where the transport supports it.
+func (c *conn) reset() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Conn.Close()
+}
+
+// flipAt flips one bit of p if the scripted stream offset falls inside
+// it; off is the stream offset of p[0] and advances by len(p).
+func (c *conn) flipAt(p []byte, off *int) {
+	at := c.plan.AfterBytes - *off
+	if !c.fired && at >= 0 && at < len(p) {
+		p[at] ^= 1 << 5
+		c.fired = true
+	}
+	*off += len(p)
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if c.plan.Mode == CorruptRead && n > 0 {
+		c.mu.Lock()
+		c.flipAt(p[:n], &c.rOff)
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	switch c.plan.Mode {
+	case Latency:
+		if !c.fired {
+			c.fired = true
+			c.mu.Unlock()
+			time.Sleep(c.plan.Delay)
+			return c.Conn.Write(p)
+		}
+	case Reset:
+		if !c.fired && c.wOff+len(p) > c.plan.AfterBytes {
+			c.fired = true
+			c.mu.Unlock()
+			c.reset()
+			return 0, net.ErrClosed
+		}
+		c.wOff += len(p)
+	case PartialWrite:
+		if !c.fired && c.wOff+len(p) > c.plan.AfterBytes {
+			c.fired = true
+			keep := c.plan.AfterBytes - c.wOff
+			c.mu.Unlock()
+			n := 0
+			if keep > 0 {
+				n, _ = c.Conn.Write(p[:keep])
+			}
+			c.reset()
+			return n, net.ErrClosed
+		}
+		c.wOff += len(p)
+	case CorruptWrite:
+		// Copy before flipping: the caller's buffer is not ours to edit.
+		if at := c.plan.AfterBytes - c.wOff; !c.fired && at >= 0 && at < len(p) {
+			q := append([]byte(nil), p...)
+			q[at] ^= 1 << 5
+			c.fired = true
+			c.wOff += len(p)
+			c.mu.Unlock()
+			return c.Conn.Write(q)
+		}
+		c.wOff += len(p)
+	}
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,137 @@
+package netfault
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho serves a one-shot echo on a faulted listener: each
+// connection reads one chunk, writes it back, and closes. The echo makes
+// both directions observable — a read-side fault corrupts what comes
+// back, a write-side fault mangles the reply in flight.
+func startEcho(t *testing.T, plan Plan) (string, *Listener) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Wrap(inner, plan)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				n, err := c.Read(buf)
+				if err != nil {
+					return
+				}
+				c.Write(buf[:n])
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { inner.Close() })
+	return inner.Addr().String(), l
+}
+
+// roundTrip sends payload and reads the reply to EOF.
+func roundTrip(t *testing.T, addr, payload string) (string, error) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write([]byte(payload)); err != nil {
+		return "", err
+	}
+	data, err := io.ReadAll(c)
+	return string(data), err
+}
+
+func TestSelectionEveryNAfterSkip(t *testing.T) {
+	// SkipFirst 1, EveryN 2: connections 2 and 4 fault, 1/3/5 pass.
+	addr, l := startEcho(t, Plan{Mode: CorruptWrite, SkipFirst: 1, EveryN: 2, AfterBytes: 0})
+	clean := 0
+	for i := 0; i < 5; i++ {
+		got, err := roundTrip(t, addr, "payload")
+		if err != nil {
+			t.Fatalf("conn %d: %v", i+1, err)
+		}
+		if got == "payload" {
+			clean++
+		}
+	}
+	if l.Accepted() != 5 || l.Faulted() != 2 || clean != 3 {
+		t.Fatalf("accepted %d, faulted %d, clean %d; want 5/2/3", l.Accepted(), l.Faulted(), clean)
+	}
+}
+
+func TestReset(t *testing.T) {
+	addr, _ := startEcho(t, Plan{Mode: Reset, AfterBytes: 0})
+	got, err := roundTrip(t, addr, "0123456789")
+	if err == nil {
+		t.Fatalf("reset connection returned cleanly with %q", got)
+	}
+	if got != "" {
+		t.Fatalf("reset at byte 0 leaked %q", got)
+	}
+}
+
+func TestLatencySpike(t *testing.T) {
+	const delay = 80 * time.Millisecond
+	addr, _ := startEcho(t, Plan{Mode: Latency, Delay: delay})
+	start := time.Now()
+	got, err := roundTrip(t, addr, "0123456789")
+	if err != nil || got != "0123456789" {
+		t.Fatalf("latency must not lose data: %q, %v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("round trip took %v, want at least the %v stall", elapsed, delay)
+	}
+}
+
+func TestPartialWrite(t *testing.T) {
+	addr, _ := startEcho(t, Plan{Mode: PartialWrite, AfterBytes: 4})
+	got, err := roundTrip(t, addr, "0123456789")
+	if err == nil {
+		t.Fatal("partial write must surface a connection error")
+	}
+	if got != "0123" {
+		t.Fatalf("client saw %q, want exactly the 4-byte prefix", got)
+	}
+}
+
+func TestCorruptWrite(t *testing.T) {
+	addr, _ := startEcho(t, Plan{Mode: CorruptWrite, AfterBytes: 2})
+	got, err := roundTrip(t, addr, "0123456789")
+	if err != nil {
+		t.Fatalf("corruption must be silent: %v", err)
+	}
+	want := []byte("0123456789")
+	want[2] ^= 1 << 5
+	if got != string(want) {
+		t.Fatalf("client saw %q, want %q (bit flipped at offset 2)", got, want)
+	}
+}
+
+func TestCorruptRead(t *testing.T) {
+	// The echo reflects what the server read: the request-side flip
+	// comes straight back.
+	addr, _ := startEcho(t, Plan{Mode: CorruptRead, AfterBytes: 7})
+	got, err := roundTrip(t, addr, "0123456789")
+	if err != nil {
+		t.Fatalf("corruption must be silent: %v", err)
+	}
+	want := []byte("0123456789")
+	want[7] ^= 1 << 5
+	if got != string(want) {
+		t.Fatalf("server read %q, want %q (bit flipped at offset 7)", got, want)
+	}
+}

@@ -131,8 +131,14 @@ func (r *Registry) CounterFunc(name, unit, help string, f func() uint64) {
 
 // Gauge registers a gauge under name.
 func (r *Registry) Gauge(name, unit, help string, g *Gauge) {
-	r.add(name, "", unit, help, KindGauge, func() Value {
-		return Value{Name: name, Unit: unit, Help: help, Kind: KindGauge, Gauge: float64(g.Load())}
+	r.GaugeWith(name, nil, unit, help, g)
+}
+
+// GaugeWith is Gauge with label pairs (see CounterWith).
+func (r *Registry) GaugeWith(name string, labels []Label, unit, help string, g *Gauge) {
+	ls := renderLabels(labels)
+	r.add(name, ls, unit, help, KindGauge, func() Value {
+		return Value{Name: name, Labels: ls, Unit: unit, Help: help, Kind: KindGauge, Gauge: float64(g.Load())}
 	})
 }
 

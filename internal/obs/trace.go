@@ -30,6 +30,16 @@ const (
 	// replay and audit. Seq is the recovered checkpoint's sequence,
 	// Rebuilt the number of WAL batches replayed on top of it.
 	TraceRecovery
+	// TraceShed fires when the serving layer's admission control refuses
+	// a request: every in-flight slot was taken and the wait queue (or
+	// the request's deadline budget) was exhausted. Endpoint names the
+	// gate, Dur how long the request waited before being shed.
+	TraceShed
+	// TraceDegraded fires on both edges of the durable layer's read-only
+	// degraded mode: sealing (Err is the WAL I/O failure that caused it)
+	// and reopening (Err nil). Seq is the WAL sequence the transition
+	// happened at.
+	TraceDegraded
 )
 
 // String returns the kind's name.
@@ -47,6 +57,10 @@ func (k TraceKind) String() string {
 		return "checkpoint"
 	case TraceRecovery:
 		return "recovery"
+	case TraceShed:
+		return "shed"
+	case TraceDegraded:
+		return "degraded"
 	}
 	return "unknown"
 }
@@ -55,14 +69,15 @@ func (k TraceKind) String() string {
 // documented on the respective TraceKind are meaningful; the rest are
 // zero.
 type TraceEvent struct {
-	Kind    TraceKind
-	Seq     uint64        // snapshot version / batch or checkpoint sequence
-	Block   int           // block index (TraceBlockRecompute), else -1
-	Shard   int           // owning shard (TraceBlockRecompute); 0 unsharded
-	Events  int           // batch size (TraceBatchStart)
-	Rebuilt int           // blocks re-factored / batches replayed
-	Dur     time.Duration // duration of the completed phase
-	Err     error         // terminal error of the phase, nil on success
+	Kind     TraceKind
+	Seq      uint64        // snapshot version / batch or checkpoint sequence
+	Block    int           // block index (TraceBlockRecompute), else -1
+	Shard    int           // owning shard (TraceBlockRecompute); 0 unsharded
+	Events   int           // batch size (TraceBatchStart)
+	Rebuilt  int           // blocks re-factored / batches replayed
+	Endpoint string        // shedding admission gate (TraceShed), else ""
+	Dur      time.Duration // duration of the completed phase
+	Err      error         // terminal error of the phase, nil on success
 }
 
 // TraceHook receives pipeline trace events. A nil hook costs one branch

@@ -20,7 +20,24 @@ const (
 	KindBadRequest = "bad_request"
 	// KindInternal is a server-side failure (HTTP 500).
 	KindInternal = "internal"
+	// KindOverloaded maps to *treesvd.OverloadError (HTTP 503): admission
+	// control shed the request; RetryAfterMs carries the backoff hint.
+	KindOverloaded = "overloaded"
+	// KindDegraded maps to *treesvd.DegradedError (HTTP 503): the durable
+	// embedder is sealed read-only after a WAL I/O failure. Not worth
+	// retrying without operator action.
+	KindDegraded = "degraded"
 )
+
+// RetryAfterHeader is the sub-second companion of the standard
+// Retry-After response header (which RFC 9110 limits to whole seconds):
+// the server sends both on a shed, and the client prefers this one.
+const RetryAfterHeader = "X-Retry-After-Ms"
+
+// TimeoutHeader carries the caller's remaining deadline budget in
+// milliseconds; the server folds it into the handler context so
+// server-side work is abandoned once the caller has given up.
+const TimeoutHeader = "X-Timeout-Ms"
 
 // ErrorDTO is the JSON error body every non-2xx response carries. Error
 // and Kind are always set; the remaining fields are populated per kind
@@ -34,6 +51,21 @@ type ErrorDTO struct {
 	K        int    `json:"k,omitempty"`
 	Index    int    `json:"index,omitempty"`
 	MaxNodes int    `json:"max_nodes,omitempty"`
+	// Endpoint and RetryAfterMs accompany kind "overloaded": the gate
+	// that shed the request and the server's backoff hint.
+	Endpoint     string `json:"endpoint,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	// Reason accompanies kind "degraded": why the embedder sealed.
+	Reason string `json:"reason,omitempty"`
+}
+
+// HealthDTO is the GET /healthz and /readyz response body. Status is
+// "ok"/"ready" on 200; on a 503 from /readyz it names the condition
+// ("draining", "degraded", "no snapshot") and Reason elaborates when the
+// condition carries a cause.
+type HealthDTO struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // VersionDTO is the GET /v1/version response: the published snapshot

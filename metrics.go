@@ -46,6 +46,8 @@ const (
 	TraceRebuild        = obs.TraceRebuild
 	TraceCheckpoint     = obs.TraceCheckpoint
 	TraceRecovery       = obs.TraceRecovery
+	TraceShed           = obs.TraceShed
+	TraceDegraded       = obs.TraceDegraded
 )
 
 // StageLabel is the pprof label key the pipeline sets around every stage
@@ -172,6 +174,9 @@ type durableMetrics struct {
 	wal         wal.Metrics
 	checkpoints obs.Counter
 	ckptNanos   obs.Histogram
+	degraded    obs.Gauge // 1 while sealed read-only, else 0
+	seals       obs.Counter
+	reopens     obs.Counter
 }
 
 // ageNanos returns nanoseconds since the last snapshot publish (0 before
@@ -285,6 +290,12 @@ func (e *Embedder) registerDurable(dm *durableMetrics) {
 		"Committed durable checkpoints", &dm.checkpoints)
 	r.Histogram("treesvd_checkpoint_nanos", "ns",
 		"Wall time per checkpoint commit (write plus prune)", &dm.ckptNanos)
+	r.Gauge("treesvd_degraded", "state",
+		"1 while the durable embedder is sealed read-only after a WAL I/O failure", &dm.degraded)
+	r.Counter("treesvd_degraded_seals_total", "transitions",
+		"Transitions into read-only degraded mode", &dm.seals)
+	r.Counter("treesvd_degraded_reopens_total", "transitions",
+		"Successful Reopen calls restoring ingest after degraded mode", &dm.reopens)
 }
 
 // Metrics returns a point-in-time view of the pipeline's cumulative work

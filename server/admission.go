@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	treesvd "github.com/tree-svd/treesvd"
+	"github.com/tree-svd/treesvd/internal/obs"
+)
+
+// AdmissionConfig bounds per-endpoint concurrency. Each v1 endpoint gets
+// its own gate: a fixed number of in-flight slots plus a short bounded
+// wait queue. A request that finds every slot busy queues for at most
+// QueueWait (less if its own deadline is nearer), then is shed with a
+// 503 carrying a typed *treesvd.OverloadError and a Retry-After hint —
+// the server degrades to fast rejections instead of collapsing under
+// unbounded queueing. The zero value applies the defaults below;
+// /healthz, /readyz, /metrics and pprof are never gated.
+type AdmissionConfig struct {
+	// ReadSlots is the in-flight cap for each read endpoint (version,
+	// recommend, embedding, rightembedding). 0 means 64; negative
+	// disables gating on reads.
+	ReadSlots int
+	// IngestSlots is the in-flight cap for POST /v1/events. 0 means 8;
+	// negative disables gating on ingest.
+	IngestSlots int
+	// QueueDepth bounds how many requests may wait per gate beyond the
+	// slots. 0 means twice the gate's slots; negative means no queue —
+	// requests shed the moment every slot is busy.
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits for a slot; the
+	// request's own deadline shortens it. 0 means 25ms.
+	QueueWait time.Duration
+	// RetryAfter is the backoff hint shed responses carry (the
+	// Retry-After and X-Retry-After-Ms headers). 0 means 50ms.
+	RetryAfter time.Duration
+}
+
+// Admission defaults; see AdmissionConfig.
+const (
+	defaultReadSlots   = 64
+	defaultIngestSlots = 8
+	defaultQueueWait   = 25 * time.Millisecond
+	defaultRetryAfter  = 50 * time.Millisecond
+)
+
+// slotsFor resolves the configured slot count for an endpoint, with -1
+// meaning the gate is disabled.
+func (c AdmissionConfig) slotsFor(endpoint string) int {
+	cfgd, def := c.ReadSlots, defaultReadSlots
+	if endpoint == "ingest" {
+		cfgd, def = c.IngestSlots, defaultIngestSlots
+	}
+	switch {
+	case cfgd < 0:
+		return -1
+	case cfgd == 0:
+		return def
+	}
+	return cfgd
+}
+
+// gate is one endpoint's admission control: slots is the in-flight
+// bound, queue tokens bound the waiters. A nil *gate admits everything.
+type gate struct {
+	endpoint   string
+	slots      chan struct{}
+	queue      chan struct{}
+	wait       time.Duration
+	retryAfter time.Duration
+	queued     *obs.Gauge
+}
+
+// newGate builds the gate for one endpoint, or nil when disabled.
+func newGate(endpoint string, cfg AdmissionConfig, queued *obs.Gauge) *gate {
+	slots := cfg.slotsFor(endpoint)
+	if slots < 0 {
+		return nil
+	}
+	depth := cfg.QueueDepth
+	switch {
+	case depth < 0:
+		depth = 0
+	case depth == 0:
+		depth = 2 * slots
+	}
+	g := &gate{
+		endpoint:   endpoint,
+		slots:      make(chan struct{}, slots),
+		queue:      make(chan struct{}, depth),
+		wait:       cfg.QueueWait,
+		retryAfter: cfg.RetryAfter,
+		queued:     queued,
+	}
+	if g.wait <= 0 {
+		g.wait = defaultQueueWait
+	}
+	if g.retryAfter <= 0 {
+		g.retryAfter = defaultRetryAfter
+	}
+	return g
+}
+
+// acquire admits the request or sheds it with a *treesvd.OverloadError.
+// On success the returned release frees the slot; callers must invoke it
+// exactly once. The wait is deadline-aware: a request whose context
+// expires sooner than QueueWait waits only that long, and one that
+// arrives already expired sheds immediately — queueing work that cannot
+// be answered in time only deepens an overload.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	default:
+	}
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		return nil, g.shed() // queue full: reject in O(1)
+	}
+	defer func() { <-g.queue }()
+	wait := g.wait
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+		}
+	}
+	if wait <= 0 {
+		return nil, g.shed()
+	}
+	g.queued.Add(1)
+	defer g.queued.Add(-1)
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	case <-t.C:
+		return nil, g.shed()
+	case <-ctx.Done():
+		return nil, g.shed()
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+func (g *gate) shed() error {
+	return &treesvd.OverloadError{Endpoint: g.endpoint, RetryAfter: g.retryAfter}
+}

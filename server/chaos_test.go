@@ -1,0 +1,168 @@
+package server_test
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	treesvd "github.com/tree-svd/treesvd"
+	"github.com/tree-svd/treesvd/client"
+	"github.com/tree-svd/treesvd/internal/netfault"
+	"github.com/tree-svd/treesvd/server"
+)
+
+// TestNetFaultStorm storms the serving stack through a fault-injecting
+// listener, one sub-storm per fault mode: connection resets, latency
+// spikes, partial writes (the torn-frame land) and byte corruption in
+// either direction (the corrupt-frame land). Under injected network
+// faults a request may fail any way it likes — transport error, 4xx from
+// a mangled request, exhausted retries — but every response that does
+// arrive must be internally consistent, the embedder must stay coherent
+// (Audit), and once the faults stop the service must answer cleanly.
+// Run under -race via `make chaos`.
+func TestNetFaultStorm(t *testing.T) {
+	plans := []netfault.Plan{
+		{Mode: netfault.Reset, EveryN: 3, AfterBytes: 40},
+		{Mode: netfault.Latency, EveryN: 3, Delay: 20 * time.Millisecond},
+		{Mode: netfault.PartialWrite, EveryN: 3, AfterBytes: 80},
+		{Mode: netfault.CorruptWrite, EveryN: 3, AfterBytes: 120},
+		{Mode: netfault.CorruptRead, EveryN: 3, AfterBytes: 30},
+	}
+	for _, plan := range plans {
+		plan := plan
+		t.Run(plan.Mode.String(), func(t *testing.T) {
+			t.Parallel()
+			stormUnderFaults(t, plan)
+		})
+	}
+}
+
+func stormUnderFaults(t *testing.T, plan netfault.Plan) {
+	g := buildGraph(rand.New(rand.NewSource(31)), 40, 160)
+	emb, err := treesvd.New(g, testSubset, treesvd.Config{Dim: 6, RMax: 1e-3, MaxNodes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(emb, server.Options{})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := netfault.Wrap(inner, plan)
+	go srv.Serve(fl)
+	url := "http://" + inner.Addr().String()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	const (
+		readers   = 3
+		readIters = 40
+		batches   = 15
+	)
+	var (
+		wg      sync.WaitGroup
+		okReads atomic.Int64
+		failed  atomic.Int64
+	)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			c := client.New(url, client.WithRetries(2), client.WithBinary(seed%2 == 0))
+			for i := 0; i < readIters; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				switch rng.Intn(2) {
+				case 0:
+					k := 1 + rng.Intn(8)
+					src := testSubset[rng.Intn(len(testSubset))]
+					res, err := c.Recommend(ctx, src, k)
+					if err != nil {
+						failed.Add(1) // any failure shape is legal under injected faults
+						cancel()
+						continue
+					}
+					if len(res.Recs) > k {
+						t.Errorf("reader: %d recs for k=%d", len(res.Recs), k)
+					}
+					for j := 1; j < len(res.Recs); j++ {
+						if res.Recs[j].Score > res.Recs[j-1].Score {
+							t.Errorf("reader: recs not sorted at %d", j)
+						}
+					}
+				default:
+					res, err := c.Embedding(ctx)
+					if err != nil {
+						failed.Add(1)
+						cancel()
+						continue
+					}
+					if len(res.Rows) != len(testSubset) {
+						t.Errorf("reader: embedding has %d rows, want %d", len(res.Rows), len(testSubset))
+					}
+					for _, row := range res.Rows {
+						if len(row) != 6 {
+							t.Errorf("reader: embedding row dim %d, want 6", len(row))
+						}
+					}
+				}
+				okReads.Add(1)
+				cancel()
+			}
+		}(int64(200 + r))
+	}
+
+	// Writer: small batches, single-attempt (the SDK never retries
+	// writes); a batch lost to a faulted connection just counts as a
+	// failure.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		c := client.New(url, client.WithRetries(2))
+		for i := 0; i < batches; i++ {
+			batch := make([]treesvd.Event, 4)
+			for j := range batch {
+				batch[j] = treesvd.Event{U: int32(rng.Intn(60)), V: int32(rng.Intn(60)), Type: treesvd.Insert}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if _, err := c.ApplyEvents(ctx, batch); err != nil {
+				failed.Add(1)
+			}
+			cancel()
+		}
+	}()
+
+	wg.Wait()
+	if okReads.Load() == 0 {
+		t.Fatalf("storm made no progress under %v faults", plan.Mode)
+	}
+	if fl.Faulted() == 0 {
+		t.Fatalf("no connection was ever faulted (%d accepted) — the storm tested nothing", fl.Accepted())
+	}
+
+	// The faults never touched process state: the embedder is coherent
+	// and a patient client gets a clean answer.
+	if err := emb.Audit(); err != nil {
+		t.Fatalf("post-storm audit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c := client.New(url, client.WithRetries(5))
+	ver, err := c.Version(ctx)
+	if err != nil {
+		t.Fatalf("post-storm version: %v", err)
+	}
+	if ver.SubsetSize != len(testSubset) {
+		t.Fatalf("post-storm subset size %d, want %d", ver.SubsetSize, len(testSubset))
+	}
+	t.Logf("%v storm: %d clean reads, %d failures, %d/%d connections faulted",
+		plan.Mode, okReads.Load(), failed.Load(), fl.Faulted(), fl.Accepted())
+}

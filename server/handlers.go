@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,6 +45,8 @@ func writeError(w http.ResponseWriter, err error) int {
 		ike *treesvd.InvalidKError
 		nis *treesvd.NotInSubsetError
 		nre *treesvd.NodeRangeError
+		ove *treesvd.OverloadError
+		dge *treesvd.DegradedError
 		bad *badRequestError
 	)
 	switch {
@@ -56,6 +59,20 @@ func writeError(w http.ResponseWriter, err error) int {
 	case errors.As(err, &nre):
 		status = http.StatusBadRequest
 		dto.Kind, dto.Index, dto.Node, dto.MaxNodes = wire.KindNodeRange, nre.Index, nre.Node, nre.MaxNodes
+	case errors.As(err, &ove):
+		status = http.StatusServiceUnavailable
+		dto.Kind, dto.Endpoint = wire.KindOverloaded, ove.Endpoint
+		if ra := ove.RetryAfter; ra > 0 {
+			dto.RetryAfterMs = max(ra.Milliseconds(), 1)
+			// RFC 9110 Retry-After is whole seconds; round up so a naive
+			// client never retries early. X-Retry-After-Ms keeps the
+			// sub-second hint for our own SDK.
+			w.Header().Set("Retry-After", strconv.FormatInt(int64((ra+time.Second-1)/time.Second), 10))
+			w.Header().Set(wire.RetryAfterHeader, strconv.FormatInt(dto.RetryAfterMs, 10))
+		}
+	case errors.As(err, &dge):
+		status = http.StatusServiceUnavailable
+		dto.Kind, dto.Reason = wire.KindDegraded, dge.Reason
 	case errors.As(err, &bad):
 		status = http.StatusBadRequest
 		dto.Kind = wire.KindBadRequest
@@ -85,16 +102,37 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the per-endpoint request counter,
-// latency histogram, error counter and the shared in-flight gauge.
+// instrument wraps a handler with admission control, caller-deadline
+// propagation, the per-endpoint request counter, latency histogram,
+// error counter and the shared in-flight gauge.
 func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	em := s.met.endpoint(endpoint)
+	g := s.gates[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		s.met.inflight.Add(1)
+		// Fold the caller's deadline budget into the handler context:
+		// work the caller has given up on is abandoned server-side too,
+		// and the admission queue will not hold a request past it.
+		if raw := r.Header.Get(wire.TimeoutHeader); raw != "" {
+			if ms, err := strconv.ParseInt(raw, 10, 64); err == nil && ms > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
-		s.met.inflight.Add(-1)
+		if release, err := g.acquire(r.Context()); err != nil {
+			em.shed.Inc()
+			if s.trace != nil {
+				s.trace(treesvd.TraceEvent{Kind: treesvd.TraceShed, Endpoint: endpoint, Block: -1, Err: err})
+			}
+			writeError(sw, err)
+		} else {
+			s.met.inflight.Add(1)
+			h(sw, r)
+			s.met.inflight.Add(-1)
+			release()
+		}
 		em.requests.Inc()
 		if sw.status >= 400 {
 			em.errors.Inc()

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"net/http"
+
+	"github.com/tree-svd/treesvd/internal/wire"
+)
+
+// degrader is implemented by *treesvd.DurableEmbedder: a non-nil
+// Degraded() means ingest is sealed read-only (see the degraded-mode
+// contract there). A plain *treesvd.Embedder has no durability to lose
+// and never degrades.
+type degrader interface {
+	Degraded() error
+}
+
+// handleHealthz is the liveness probe: the process is up and the mux is
+// answering. It stays 200 while draining or degraded — restarting a
+// process that is still serving reads would make either condition worse.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.HealthDTO{Status: "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 only while the server should
+// receive new traffic — a snapshot is published, Shutdown has not begun,
+// and the ingest path is not sealed in degraded mode. The body always
+// says why not, so an operator curling the endpoint needs no logs.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	dto := wire.HealthDTO{Status: "ready"}
+	status := http.StatusOK
+	switch {
+	case s.draining.Load():
+		dto.Status, status = "draining", http.StatusServiceUnavailable
+	case s.e.Snapshot() == nil:
+		dto.Status, status = "no snapshot", http.StatusServiceUnavailable
+	default:
+		if d, ok := s.ingest.(degrader); ok {
+			if err := d.Degraded(); err != nil {
+				dto.Status, dto.Reason, status = "degraded", err.Error(), http.StatusServiceUnavailable
+			}
+		}
+	}
+	writeJSON(w, status, dto)
+}

@@ -13,6 +13,8 @@ import (
 type endpointMetrics struct {
 	requests obs.Counter
 	errors   obs.Counter
+	shed     obs.Counter
+	queued   obs.Gauge
 	nanos    obs.Histogram
 }
 
@@ -62,6 +64,10 @@ func metricsFor(reg *obs.Registry) *metrics {
 			"HTTP requests served, by endpoint", &em.requests)
 		reg.CounterWith("treesvd_http_errors_total", ls, "requests",
 			"HTTP requests answered with status >= 400, by endpoint", &em.errors)
+		reg.CounterWith("treesvd_http_shed_total", ls, "requests",
+			"HTTP requests shed by admission control, by endpoint", &em.shed)
+		reg.GaugeWith("treesvd_http_queued", ls, "requests",
+			"HTTP requests waiting in the admission queue, by endpoint", &em.queued)
 		reg.HistogramWith("treesvd_http_request_nanos", ls, "ns",
 			"Server-side wall time per HTTP request, by endpoint", &em.nanos)
 	}

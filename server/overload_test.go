@@ -1,0 +1,473 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	treesvd "github.com/tree-svd/treesvd"
+	"github.com/tree-svd/treesvd/client"
+	"github.com/tree-svd/treesvd/internal/faultfs"
+	"github.com/tree-svd/treesvd/internal/wal"
+	"github.com/tree-svd/treesvd/internal/wire"
+	"github.com/tree-svd/treesvd/server"
+)
+
+// holdIngestSlot opens a streaming ingest request and keeps its frame
+// stream open, pinning one ingest admission slot until release is
+// called. It returns once the server has accepted the first frame, so
+// the slot is provably held.
+func holdIngestSlot(t *testing.T, url string) (release func()) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/events", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	// One frame in: the handler is inside the gate, reading for more.
+	var frame []byte
+	frame = appendFrame(frame, []treesvd.Event{{U: 1, V: 2, Type: treesvd.Insert}})
+	if _, err := pw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the server consume the frame
+	return func() {
+		pw.Close()
+		<-done
+	}
+}
+
+func appendFrame(dst []byte, events []treesvd.Event) []byte {
+	var buf bytesBuffer
+	wire.WriteFrame(&buf, wire.EncodeEvents(events))
+	return append(dst, buf.b...)
+}
+
+// bytesBuffer is a minimal io.Writer (avoids importing bytes just for
+// this).
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+
+// TestIngestShedsWhenSaturated pins the single ingest slot with a
+// streaming request and asserts the next ingest is shed: HTTP 503 with
+// both Retry-After forms on the wire, the typed *treesvd.OverloadError
+// out of the client SDK, and a TraceShed event naming the gate.
+func TestIngestShedsWhenSaturated(t *testing.T) {
+	g := buildGraph(rand.New(rand.NewSource(11)), 40, 160)
+	emb, err := treesvd.New(g, testSubset, treesvd.Config{Dim: 4, MaxNodes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sheds atomic.Int64
+	srv := server.New(emb, server.Options{
+		Admission: server.AdmissionConfig{
+			IngestSlots: 1, QueueDepth: -1, // no queue: shed the instant the slot is busy
+			RetryAfter: 80 * time.Millisecond,
+		},
+		Trace: func(ev treesvd.TraceEvent) {
+			if ev.Kind == treesvd.TraceShed && ev.Endpoint == "ingest" {
+				sheds.Add(1)
+			}
+		},
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	release := holdIngestSlot(t, srv.URL())
+	defer release()
+
+	// Raw request: inspect the wire form of the shed.
+	resp, err := http.Post(srv.URL()+"/v1/events", "application/json",
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want the 80ms hint rounded up to 1s", resp.Header.Get("Retry-After"))
+	}
+	if resp.Header.Get(wire.RetryAfterHeader) != "80" {
+		t.Fatalf("%s = %q, want 80", wire.RetryAfterHeader, resp.Header.Get(wire.RetryAfterHeader))
+	}
+
+	// Typed form through the SDK (retries off so the shed surfaces).
+	c := client.New(srv.URL(), client.WithRetries(0))
+	_, err = c.ApplyEvents(context.Background(), []treesvd.Event{{U: 3, V: 4, Type: treesvd.Insert}})
+	var ove *treesvd.OverloadError
+	if !errors.As(err, &ove) || ove.Endpoint != "ingest" || ove.RetryAfter != 80*time.Millisecond {
+		t.Fatalf("want *OverloadError{ingest, 80ms}, got %v", err)
+	}
+	if sheds.Load() < 2 {
+		t.Fatalf("TraceShed fired %d times, want >= 2", sheds.Load())
+	}
+
+	// Releasing the slot restores ingest.
+	release()
+	if _, err := c.ApplyEvents(context.Background(), []treesvd.Event{{U: 3, V: 4, Type: treesvd.Insert}}); err != nil {
+		t.Fatalf("ingest after release: %v", err)
+	}
+	if err := emb.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimeoutHeaderPropagates asserts X-Timeout-Ms becomes the handler
+// context's deadline: the SDK stamps it from the caller's context, the
+// server folds it in, and the ingestor observes it.
+func TestTimeoutHeaderPropagates(t *testing.T) {
+	g := buildGraph(rand.New(rand.NewSource(11)), 40, 160)
+	emb, err := treesvd.New(g, testSubset, treesvd.Config{Dim: 4, MaxNodes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDeadline atomic.Bool
+	capture := ingestorFunc(func(ctx context.Context, events []treesvd.Event) (int, error) {
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) > 0 && time.Until(dl) <= 5*time.Second {
+			sawDeadline.Store(true)
+		}
+		return emb.ApplyEvents(ctx, events)
+	})
+	srv := server.New(emb, server.Options{Ingest: capture})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c := client.New(srv.URL(), client.WithRetries(0))
+	if _, err := c.ApplyEvents(ctx, []treesvd.Event{{U: 1, V: 2, Type: treesvd.Insert}}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDeadline.Load() {
+		t.Fatal("the handler context never carried the caller's deadline")
+	}
+}
+
+// ingestorFunc adapts a function to server.Ingestor.
+type ingestorFunc func(context.Context, []treesvd.Event) (int, error)
+
+func (f ingestorFunc) ApplyEvents(ctx context.Context, events []treesvd.Event) (int, error) {
+	return f(ctx, events)
+}
+
+// TestHealthAndReadiness walks /healthz and /readyz through the ready →
+// draining transition: liveness never flips, readiness does.
+func TestHealthAndReadiness(t *testing.T) {
+	_, srv := newTestServer(t, treesvd.Config{Dim: 4, MaxNodes: 256})
+
+	get := func(path string) (int, wire.HealthDTO) {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var dto wire.HealthDTO
+		data, _ := io.ReadAll(resp.Body)
+		if err := json.Unmarshal(data, &dto); err != nil {
+			t.Fatalf("%s body %q: %v", path, data, err)
+		}
+		return resp.StatusCode, dto
+	}
+	if code, dto := get("/healthz"); code != 200 || dto.Status != "ok" {
+		t.Fatalf("healthz = %d %q", code, dto.Status)
+	}
+	if code, dto := get("/readyz"); code != 200 || dto.Status != "ready" {
+		t.Fatalf("readyz = %d %q", code, dto.Status)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The listener is gone; probe the handler directly, the way a sidecar
+	// sharing the process would.
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	var dto wire.HealthDTO
+	if err := json.Unmarshal(rr.Body.Bytes(), &dto); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Code != http.StatusServiceUnavailable || dto.Status != "draining" {
+		t.Fatalf("readyz after shutdown = %d %q, want 503 draining", rr.Code, dto.Status)
+	}
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthz after shutdown = %d, want 200 (liveness is not readiness)", rr.Code)
+	}
+}
+
+// TestDegradedEndToEnd drives the whole degradation story over HTTP: a
+// disk-full WAL append seals the durable embedder; ingest answers a
+// typed 503, reads keep serving, /readyz reports degraded; after the
+// operator clears the fault and calls Reopen, everything recovers.
+func TestDegradedEndToEnd(t *testing.T) {
+	g := buildGraph(rand.New(rand.NewSource(11)), 40, 160)
+	cfg := treesvd.DurableConfig{Config: treesvd.Config{Dim: 4, MaxNodes: 256}}
+
+	// Calibrate: count the filesystem ops Create costs, so the fault can
+	// be scripted to fire on the first ingest append after it.
+	probe := faultfs.Wrap(wal.OS, faultfs.Plan{FailAt: 1 << 30, Mode: faultfs.DiskFull})
+	d0, err := treesvd.CreateWithFS(probe, t.TempDir(), g.Clone(), testSubset, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	createOps := probe.Ops()
+	d0.Close()
+
+	ffs := faultfs.Wrap(wal.OS, faultfs.Plan{FailAt: createOps + 1, Mode: faultfs.DiskFull})
+	d, err := treesvd.CreateWithFS(ffs, t.TempDir(), g.Clone(), testSubset, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	srv := server.New(d.Embedder(), server.Options{Ingest: d})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	c := client.New(srv.URL(), client.WithRetries(0))
+	ctx := context.Background()
+
+	// The first logged batch hits the full disk: typed 503.
+	batch := []treesvd.Event{{U: 1, V: 2, Type: treesvd.Insert}}
+	_, err = c.ApplyEvents(ctx, batch)
+	var dge *treesvd.DegradedError
+	if !errors.As(err, &dge) {
+		t.Fatalf("want *DegradedError over the wire, got %v", err)
+	}
+	if !ffs.Fired() {
+		t.Fatal("the disk-full fault never fired")
+	}
+
+	// Reads keep serving the pre-fault snapshot.
+	if _, err := c.Embedding(ctx); err != nil {
+		t.Fatalf("reads must survive degraded mode: %v", err)
+	}
+
+	// /readyz tells the operator.
+	resp, err := http.Get(srv.URL() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dto wire.HealthDTO
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(data, &dto); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || dto.Status != "degraded" || dto.Reason == "" {
+		t.Fatalf("readyz = %d %+v, want 503 degraded with a reason", resp.StatusCode, dto)
+	}
+
+	// Operator runbook: free space, Reopen, back in business.
+	ffs.Clear()
+	if err := d.Reopen(); err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if resp, err := http.Get(srv.URL() + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after Reopen: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	if _, err := c.ApplyEvents(ctx, batch); err != nil {
+		t.Fatalf("ingest after Reopen: %v", err)
+	}
+}
+
+// TestOverloadAtTwiceKnee is the overload characterization (run by
+// `make chaos` alongside the netfault storm). The ingest handler is
+// given a fixed service time, which puts the knee at exactly
+// slots/serviceTime; a concurrent burst far past that knee must degrade
+// gracefully — accepted requests stay fast (p99 within 3× the unloaded
+// p99 plus the queue wait), sheds are fast O(1) rejections, and nothing
+// hangs.
+func TestOverloadAtTwiceKnee(t *testing.T) {
+	const (
+		serviceTime = 5 * time.Millisecond
+		queueWait   = 10 * time.Millisecond
+		slack       = 100 * time.Millisecond // scheduler noise budget on tiny CI boxes
+	)
+	g := buildGraph(rand.New(rand.NewSource(11)), 40, 160)
+	emb, err := treesvd.New(g, testSubset, treesvd.Config{Dim: 4, MaxNodes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := ingestorFunc(func(ctx context.Context, events []treesvd.Event) (int, error) {
+		time.Sleep(serviceTime)
+		return emb.ApplyEvents(ctx, events)
+	})
+	srv := server.New(emb, server.Options{
+		Ingest: slow,
+		Admission: server.AdmissionConfig{
+			IngestSlots: 2, QueueDepth: 2, QueueWait: queueWait, RetryAfter: 20 * time.Millisecond,
+		},
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+	oneEvent := []treesvd.Event{{U: 1, V: 2, Type: treesvd.Insert}}
+
+	// Phase 1 — unloaded baseline, sequential.
+	c := client.New(srv.URL(), client.WithRetries(0))
+	var unloaded []time.Duration
+	for i := 0; i < 40; i++ {
+		start := time.Now()
+		if _, err := c.ApplyEvents(ctx, oneEvent); err != nil {
+			t.Fatalf("unloaded request %d: %v", i, err)
+		}
+		unloaded = append(unloaded, time.Since(start))
+	}
+	unloadedP99 := quantileDur(unloaded, 0.99)
+
+	// Phase 2 — burst far past the 2-slot knee.
+	const (
+		workers = 32
+		perW    = 8
+	)
+	var (
+		mu            sync.Mutex
+		accepted      []time.Duration
+		shed          []time.Duration
+		wg            sync.WaitGroup
+		otherFailures atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := client.New(srv.URL(), client.WithRetries(0))
+			for i := 0; i < perW; i++ {
+				start := time.Now()
+				_, err := c.ApplyEvents(ctx, oneEvent)
+				d := time.Since(start)
+				mu.Lock()
+				switch {
+				case err == nil:
+					accepted = append(accepted, d)
+				default:
+					var ove *treesvd.OverloadError
+					if errors.As(err, &ove) {
+						shed = append(shed, d)
+					} else {
+						otherFailures.Add(1)
+					}
+				}
+				mu.Unlock()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	if len(accepted) == 0 {
+		t.Fatal("overload accepted nothing — the gate is rejecting everything")
+	}
+	if len(shed) == 0 {
+		t.Fatalf("no request was shed at %d-way concurrency over 2 slots", workers)
+	}
+	if n := otherFailures.Load(); n > 0 {
+		t.Fatalf("%d requests failed with something other than a shed", n)
+	}
+	acceptedP99 := quantileDur(accepted, 0.99)
+	shedP99 := quantileDur(shed, 0.99)
+	if limit := 3*unloadedP99 + queueWait + slack; acceptedP99 > limit {
+		t.Fatalf("accepted p99 %v exceeds %v (3x unloaded %v + queue wait + slack): overload is not shedding early enough",
+			acceptedP99, limit, unloadedP99)
+	}
+	if limit := queueWait + slack; shedP99 > limit {
+		t.Fatalf("shed p99 %v exceeds %v: rejections must be fast", shedP99, limit)
+	}
+	t.Logf("overload: %d accepted (p99 %v, unloaded p99 %v), %d shed (p99 %v)",
+		len(accepted), acceptedP99, unloadedP99, len(shed), shedP99)
+}
+
+// TestShutdownDropsNoAcceptedRequest fires a burst of reads while the
+// server concurrently begins graceful shutdown. Each request must see a
+// clean outcome: either it was never accepted (dial/transport error —
+// the listener had closed) or it completes with a full, well-formed
+// response. A truncated body or a reset mid-response is a dropped
+// accepted request, which graceful drain exists to prevent.
+func TestShutdownDropsNoAcceptedRequest(t *testing.T) {
+	_, srv := newTestServer(t, treesvd.Config{Dim: 4, MaxNodes: 256})
+	url := srv.URL()
+
+	const inFlight = 50
+	var (
+		wg        sync.WaitGroup
+		completed atomic.Int64
+		refused   atomic.Int64
+		dropped   atomic.Int64
+	)
+	start := make(chan struct{})
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := http.Get(url + "/v1/embedding")
+			if err != nil {
+				refused.Add(1) // never accepted: a clean refusal
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := io.ReadAll(resp.Body); err != nil {
+				dropped.Add(1) // accepted, then truncated: the bug
+				return
+			}
+			completed.Add(1)
+		}()
+	}
+	close(start)
+	// Shutdown races the burst deliberately.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown during burst: %v", err)
+	}
+	wg.Wait()
+
+	if dropped.Load() != 0 {
+		t.Fatalf("%d accepted requests were dropped mid-response (completed %d, refused %d)",
+			dropped.Load(), completed.Load(), refused.Load())
+	}
+	t.Logf("shutdown race: %d completed, %d refused, 0 dropped", completed.Load(), refused.Load())
+}
+
+// quantileDur returns the q-quantile of ds by sorting a copy.
+func quantileDur(ds []time.Duration, q float64) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if len(s) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	treesvd "github.com/tree-svd/treesvd"
@@ -63,6 +64,13 @@ type Options struct {
 	MaxBatchEvents int
 	// ReadHeaderTimeout bounds header parsing per request; 0 means 10s.
 	ReadHeaderTimeout time.Duration
+	// Admission bounds per-endpoint concurrency; see AdmissionConfig.
+	// The zero value applies the defaults.
+	Admission AdmissionConfig
+	// Trace, when non-nil, receives a TraceShed event for every request
+	// admission control rejects (Endpoint names the gate). Server-side
+	// only; independent of the embedder's own trace hook.
+	Trace treesvd.TraceHook
 }
 
 // Server serves one Embedder. Create with New, start with Start (or
@@ -74,13 +82,18 @@ type Server struct {
 	subset   []int32
 	maxBatch int
 
-	met *metrics
-	mux *http.ServeMux
+	met   *metrics
+	mux   *http.ServeMux
+	gates map[string]*gate
+	trace treesvd.TraceHook
 
-	mu   sync.Mutex
-	hs   *http.Server
-	ln   net.Listener
-	done chan error
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	hs        *http.Server
+	ln        net.Listener
+	serveDone chan struct{}
+	serveErr  error // set before serveDone closes
 
 	stopOnce sync.Once
 	stopErr  error
@@ -110,6 +123,11 @@ func New(e *treesvd.Embedder, opts Options) *Server {
 		subset:   subset,
 		maxBatch: maxBatch,
 		met:      metricsFor(e.MetricsRegistry()),
+		trace:    opts.Trace,
+	}
+	s.gates = make(map[string]*gate, len(endpointNames))
+	for _, name := range endpointNames {
+		s.gates[name] = newGate(name, opts.Admission, &s.met.endpoint(name).queued)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
@@ -117,6 +135,8 @@ func New(e *treesvd.Embedder, opts Options) *Server {
 	mux.HandleFunc("GET /v1/embedding", s.instrument("embedding", s.handleEmbedding))
 	mux.HandleFunc("GET /v1/rightembedding", s.instrument("rightembedding", s.handleRightEmbedding))
 	mux.HandleFunc("POST /v1/events", s.instrument("ingest", s.handleIngest))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("/metrics", e.MetricsRegistry())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -147,21 +167,71 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Start binds addr (host:port; ":0" picks a free port — read it back
 // with Addr) and serves in a background goroutine until Shutdown. It
 // returns once the listener is bound, so a follow-up request cannot race
-// the bind.
+// the bind. Watch ServeDone/ServeErr to learn of a serve loop that dies
+// for any reason other than Shutdown.
 func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := s.attach(ln); err != nil {
+		ln.Close()
+		return err
+	}
+	go s.serve(ln)
+	return nil
+}
+
+// Serve accepts connections on a listener the caller owns (wrapped for
+// fault injection, TLS-terminated, inherited from a supervisor) until
+// Shutdown or a listener error. It returns nil after a clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	if err := s.attach(ln); err != nil {
+		return err
+	}
+	return s.serve(ln)
+}
+
+// attach records the listener; a server serves at most once.
+func (s *Server) attach(ln net.Listener) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ln != nil {
 		return errors.New("server: already started")
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
 	s.ln = ln
-	s.done = make(chan error, 1)
-	go func() { s.done <- s.hs.Serve(ln) }()
+	s.serveDone = make(chan struct{})
 	return nil
+}
+
+// serve runs the accept loop and publishes its exit.
+func (s *Server) serve(ln net.Listener) error {
+	err := s.hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil // the Shutdown path: not a serve failure
+	}
+	s.mu.Lock()
+	s.serveErr = err
+	done := s.serveDone
+	s.mu.Unlock()
+	close(done)
+	return err
+}
+
+// ServeDone returns a channel closed when the serve loop has exited —
+// after Shutdown, or on a listener failure. Nil before Start/Serve.
+func (s *Server) ServeDone() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serveDone
+}
+
+// ServeErr returns the error that ended the serve loop, nil for a clean
+// Shutdown (or while still serving). Meaningful once ServeDone closes.
+func (s *Server) ServeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serveErr
 }
 
 // Addr returns the bound listen address ("" before Start).
@@ -193,14 +263,17 @@ func (s *Server) URL() string {
 // (including concurrent ones) wait for it and return the same result.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	ln, done := s.ln, s.done
+	ln, done := s.ln, s.serveDone
 	s.mu.Unlock()
 	if ln == nil {
 		return nil
 	}
 	s.stopOnce.Do(func() {
+		// Flip readiness before the listener closes: a load balancer
+		// probing /readyz sees "draining" while in-flight requests finish.
+		s.draining.Store(true)
 		err := s.hs.Shutdown(ctx)
-		<-done // Serve has returned (http.ErrServerClosed on the clean path)
+		<-done // the serve loop has returned
 		if err != nil {
 			s.hs.Close()
 			s.stopErr = fmt.Errorf("server: shutdown: %w", err)
@@ -208,3 +281,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	})
 	return s.stopErr
 }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
