@@ -10,9 +10,9 @@ GO ?= go
 # driven through the differential harness (internal/check).
 SEEDS ?= 16
 
-.PHONY: ci vet build test race differential crash chaos fuzz bench bench-kernels bench-recovery bench-shards bench-shards-short bench-serve bench-serve-short serve-race fmt docs
+.PHONY: ci vet build test race differential crash chaos fuzz bench bench-kernels bench-recovery bench-shards bench-shards-short bench-serve bench-serve-short bench-dynamic bench-dynamic-short serve-race fmt docs
 
-ci: vet build test race differential crash chaos docs bench-shards-short bench-serve-short
+ci: vet build test race differential crash chaos docs bench-shards-short bench-serve-short bench-dynamic-short
 
 vet:
 	$(GO) vet ./...
@@ -85,6 +85,21 @@ bench-shards:
 bench-shards-short:
 	BENCH_SHARDS_OUT=$(CURDIR)/.bench-shards-ci.json BENCH_SHARDS_SHORT=1 $(GO) test -run TestEmitShardBench -count=1 .
 	@rm -f $(CURDIR)/.bench-shards-ci.json
+
+# Emits BENCH_DYNAMIC.json: per-batch ApplyEvents latency (p50/p99) on
+# the churnstress stream with the Brand-style incremental update path
+# off vs on, plus the update hit rate, fallback rate and the p99 speedup
+# (see dynamic_bench_test.go). README's "Dynamic path" section quotes
+# these.
+bench-dynamic:
+	BENCH_DYNAMIC_OUT=$(CURDIR)/BENCH_DYNAMIC.json $(GO) test -run TestEmitDynamicBench -count=1 -v .
+
+# Short smoke variant for `make ci`: a tiny stream and a throwaway
+# output file — it gates that the dynamic bench harness still runs end
+# to end, not the machine-dependent numbers.
+bench-dynamic-short:
+	BENCH_DYNAMIC_OUT=$(CURDIR)/.bench-dynamic-ci.json BENCH_DYNAMIC_SHORT=1 $(GO) test -run TestEmitDynamicBench -count=1 .
+	@rm -f $(CURDIR)/.bench-dynamic-ci.json
 
 # Emits BENCH_SERVE.json: open-loop serving latency (p50/p99/p999) at
 # three or more offered-load points against an in-process HTTP server,

@@ -1,0 +1,183 @@
+// Dynamic-path benchmark (ISSUE 10 tentpole). `make bench-dynamic` runs
+// TestEmitDynamicBench, which drives the same churnstress stream through
+// the pipeline twice — recompute-only (SVDUpdate off) and with the
+// Brand-style incremental update path on — and writes BENCH_DYNAMIC.json:
+// per-batch ApplyEvents latency (p50/p99), the update hit rate
+// BlocksUpdated/(BlocksUpdated+BlocksRebuilt), the fallback rate, and the
+// p99 speedup of the update variant over the recompute baseline.
+// BENCH_DYNAMIC_SHORT=1 shrinks the stream to a smoke-test size; `make
+// ci` runs that variant to keep the harness from rotting without gating
+// on machine-dependent numbers.
+package treesvd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/tree-svd/treesvd/internal/core"
+	"github.com/tree-svd/treesvd/internal/dataset"
+)
+
+// dynamicBenchStream is the dynamic-path churnstress workload, shaped
+// for the regime the incremental path is built for: wide blocks (few
+// blocks over many columns, so one recompute is expensive), Dim covering
+// the 40-source subset (the block rank never exceeds the row count, so
+// an update's discarded energy is ~0 and the tail budget never trips),
+// coarse r_max (cheap PPR maintenance and few touched rows per block,
+// keeping the Brand core (r+t)×(r+t) small), and a δ tight enough that
+// steady churn violates the trigger every few batches — otherwise both
+// variants coast on the lazy skip and the comparison measures nothing.
+func dynamicBenchStream(short bool) (*Graph, []int32, [][]Event, Config) {
+	subset := []int32{0, 7, 19, 42, 77, 123, 256, 391, 477, 512,
+		533, 561, 580, 601, 640, 700, 741, 790, 811, 850,
+		877, 901, 933, 960, 991, 1020, 1051, 1080, 1111, 1140,
+		1171, 1200, 1231, 1260, 1291, 1320, 1351, 1380, 1411, 1440}
+	nodes, batches, batchSize := 1500, 160, 48
+	if short {
+		nodes, batches, batchSize = 1500, 5, 24
+	}
+	initial, stream := dataset.GenerateChurn(dataset.ChurnProfile{
+		Nodes: nodes, MaxNodes: 1536, Degree: 5,
+		Batches: batches, BatchSize: batchSize,
+		SelfLoopFrac: 0.05, DeleteFrac: 0.2, DupFrac: 0.05, MissFrac: 0.05, GrowFrac: 0.02,
+		BigBatch: -1,
+		Protect:  subset,
+		Seed:     11,
+	})
+	cfg := Config{Dim: 40, Branch: 4, Levels: 2, MaxNodes: 1536, Seed: 3,
+		RMax:    0.05,  // coarse push: cheap PPR maintenance, few touched rows per block
+		Delta:   0.003, // sensitive trigger: steady churn violates, deltas stay small
+		Workers: runtime.NumCPU(),
+		// Every violating block attempts the update; the tail budget
+		// (default UpdateTailFrac) decides when accumulated discarded
+		// energy forces a refreshing recompute.
+		UpdateMaxRel: 1e6,
+	}
+	return initial, subset, stream, cfg
+}
+
+// dynamicBenchRecord is one row of BENCH_DYNAMIC.json.
+type dynamicBenchRecord struct {
+	Variant         string  `json:"variant"` // "recompute" or "update"
+	Batches         int     `json:"batches"`
+	Events          int     `json:"events"`
+	ApplyP50Ns      int64   `json:"apply_p50_ns"`
+	ApplyP99Ns      int64   `json:"apply_p99_ns"`
+	BlocksRebuilt   uint64  `json:"blocks_rebuilt"`
+	BlocksUpdated   uint64  `json:"blocks_updated"`
+	UpdateFallbacks uint64  `json:"update_fallbacks"`
+	BlockFactorP50  int64   `json:"block_factor_p50_ns"`
+	BlockUpdateP50  int64   `json:"block_update_p50_ns,omitempty"`
+	UpdateHitRate   float64 `json:"update_hit_rate"`
+	FallbackRate    float64 `json:"fallback_rate"`
+	P99Speedup      float64 `json:"p99_speedup_vs_recompute,omitempty"`
+	Delta           float64 `json:"delta"`
+	UpdateMaxRel    float64 `json:"update_max_rel"`
+	UpdateTailFrac  float64 `json:"update_tail_frac"`
+	DatasetSeed     int64   `json:"dataset_seed"`
+	CPUs            int     `json:"cpus"`
+	Short           bool    `json:"short,omitempty"`
+}
+
+// TestEmitDynamicBench writes the machine-readable update-vs-recompute
+// A/B table when BENCH_DYNAMIC_OUT names an output path (a no-op under
+// plain `go test`). Per-batch wall-clock latency is recorded directly —
+// not testing.Benchmark — because the apply cost is stateful: batch i's
+// violations depend on every batch before it, so both variants must pay
+// the identical sequence from the identical starting state. Each variant
+// runs three times (identical streams; the pipeline is deterministic)
+// and reports the repetition with the lowest p99 — per-batch cost is
+// deterministic, so min-over-reps isolates it from scheduler noise.
+func TestEmitDynamicBench(t *testing.T) {
+	out := os.Getenv("BENCH_DYNAMIC_OUT")
+	if out == "" {
+		t.Skip("set BENCH_DYNAMIC_OUT=path to emit BENCH_DYNAMIC.json")
+	}
+	short := os.Getenv("BENCH_DYNAMIC_SHORT") != ""
+	reps := 3
+	if short {
+		reps = 1
+	}
+
+	runOnce := func(update bool) dynamicBenchRecord {
+		initial, subset, stream, cfg := dynamicBenchStream(short)
+		cfg.SVDUpdate = update
+		emb, err := New(initial, subset, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := 0
+		lat := make([]time.Duration, 0, len(stream))
+		for i, b := range stream {
+			start := time.Now()
+			if _, err := emb.ApplyEvents(bgt, b); err != nil {
+				t.Fatalf("update=%v batch %d: %v", update, i, err)
+			}
+			lat = append(lat, time.Since(start))
+			events += len(b)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		m := emb.Metrics()
+		rec := dynamicBenchRecord{
+			Variant: "recompute", Batches: len(stream), Events: events,
+			ApplyP50Ns:      lat[len(lat)/2].Nanoseconds(),
+			ApplyP99Ns:      lat[len(lat)*99/100].Nanoseconds(),
+			BlocksRebuilt:   m.BlocksRebuilt,
+			BlocksUpdated:   m.BlocksUpdated,
+			UpdateFallbacks: m.UpdateFallbacks,
+			BlockFactorP50:  m.BlockFactor.P50.Nanoseconds(),
+			BlockUpdateP50:  m.BlockUpdate.P50.Nanoseconds(),
+			Delta:           cfg.Delta,
+			UpdateMaxRel:    cfg.UpdateMaxRel,
+			UpdateTailFrac:  core.DefaultUpdateTailFrac,
+			DatasetSeed:     11,
+			CPUs:            runtime.NumCPU(), Short: short,
+		}
+		if update {
+			rec.Variant = "update"
+			if n := m.BlocksUpdated + m.BlocksRebuilt; n > 0 {
+				rec.UpdateHitRate = float64(m.BlocksUpdated) / float64(n)
+			}
+			if n := m.BlocksUpdated + m.UpdateFallbacks; n > 0 {
+				rec.FallbackRate = float64(m.UpdateFallbacks) / float64(n)
+			}
+		}
+		return rec
+	}
+	run := func(update bool) dynamicBenchRecord {
+		best := runOnce(update)
+		for r := 1; r < reps; r++ {
+			if rec := runOnce(update); rec.ApplyP99Ns < best.ApplyP99Ns {
+				best = rec
+			}
+		}
+		return best
+	}
+
+	base := run(false)
+	upd := run(true)
+	if upd.ApplyP99Ns > 0 {
+		upd.P99Speedup = float64(base.ApplyP99Ns) / float64(upd.ApplyP99Ns)
+	}
+	for _, rec := range []dynamicBenchRecord{base, upd} {
+		t.Logf("%-9s p50 %-12s p99 %-12s rebuilt %-4d updated %-4d fallbacks %-3d hit %.2f factor-p50 %-10s update-p50 %s",
+			rec.Variant, time.Duration(rec.ApplyP50Ns), time.Duration(rec.ApplyP99Ns),
+			rec.BlocksRebuilt, rec.BlocksUpdated, rec.UpdateFallbacks, rec.UpdateHitRate,
+			time.Duration(rec.BlockFactorP50), time.Duration(rec.BlockUpdateP50))
+	}
+	t.Logf("p99 speedup: %.2fx, update hit rate %.2f", upd.P99Speedup, upd.UpdateHitRate)
+
+	data, err := json.MarshalIndent([]dynamicBenchRecord{base, upd}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("wrote", out)
+}

@@ -1,0 +1,119 @@
+// Dynamic: the millisecond dynamic path end to end. A churn stream runs
+// through the same embedder twice — recompute-only, then with the
+// Brand-style incremental SVD update path (Config.SVDUpdate) enabled,
+// both under SOR-accelerated push (Config.PushAccel) — while a trace
+// hook prints every per-block decision the scheduler makes: which
+// violating blocks were absorbed by an incremental update and which
+// fell through to a full re-factorization. The closing Metrics() comparison shows
+// what the decisions bought: the update hit rate and the per-block cost
+// gap between the two refresh paths (see DESIGN.md §13 and the README's
+// "Dynamic path" section).
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	treesvd "github.com/tree-svd/treesvd"
+	"github.com/tree-svd/treesvd/internal/dataset"
+)
+
+func main() {
+	// A churn-heavy stream in the regime the update path is built for:
+	// wide blocks (Branch 4 × Levels 2 = 4 leaf blocks over 1536
+	// columns), rank covering the subset, coarse push, and a δ tight
+	// enough that steady churn violates the Eqn. 2 trigger regularly.
+	subset := make([]int32, 40)
+	for i := range subset {
+		subset[i] = int32(i * 36)
+	}
+	initial, stream := dataset.GenerateChurn(dataset.ChurnProfile{
+		Nodes: 1500, MaxNodes: 1536, Degree: 5,
+		Batches: 24, BatchSize: 48,
+		SelfLoopFrac: 0.05, DeleteFrac: 0.2, DupFrac: 0.05, MissFrac: 0.05, GrowFrac: 0.02,
+		BigBatch: -1,
+		Protect:  subset,
+		Seed:     11,
+	})
+	cfg := treesvd.Config{
+		Dim: 40, Branch: 4, Levels: 2, MaxNodes: 1536, Seed: 3,
+		RMax: 0.05, Delta: 0.003,
+		// Let every violating block attempt the update — the tail budget
+		// (default UpdateTailFrac) still decides when accumulated
+		// truncation error forces a refreshing recompute. The tight δ
+		// above makes the default eligibility gate (UpdateMaxRel 0.5 of
+		// the trigger) too strict for this stream's batch size.
+		UpdateMaxRel: 1e6,
+		// SOR-accelerated Forward-Push in both passes, so the A/B below
+		// isolates the factorization path. The accelerated schedule
+		// satisfies the same residue bound and exact-PPR audits as the
+		// classic one — only the push count changes.
+		PushAccel: treesvd.PushSOR,
+	}
+	fmt.Printf("stream: %d batches x %d events over %d nodes, %d leaf blocks\n\n",
+		len(stream), 48, initial.NumNodes(), 4)
+
+	run := func(update bool) treesvd.Metrics {
+		c := cfg
+		c.SVDUpdate = update
+		emb, err := treesvd.New(initial.Clone(), subset, c)
+		if err != nil {
+			panic(err)
+		}
+		if update {
+			// The hook runs inline on factorization workers: keep it to
+			// a single print, and never call back into the embedder.
+			emb.SetTraceHook(func(ev treesvd.TraceEvent) {
+				switch ev.Kind {
+				case treesvd.TraceBlockUpdate:
+					fmt.Printf("  batch block %2d: incremental update in %8v\n",
+						ev.Block, ev.Dur.Round(time.Microsecond))
+				case treesvd.TraceBlockRecompute:
+					fmt.Printf("  batch block %2d: full re-factorization in %8v\n",
+						ev.Block, ev.Dur.Round(time.Microsecond))
+				}
+			})
+		}
+		t0 := time.Now()
+		for _, batch := range stream {
+			if _, err := emb.ApplyEvents(context.Background(), batch); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(t0)
+		st := emb.LastStats()
+		fmt.Printf("variant %-9s: stream applied in %v (last batch: %d rebuilt, %d updated, %d cached)\n",
+			name(update), elapsed.Round(time.Millisecond),
+			st.Level1Rebuilt, st.Level1Updated, st.Skipped)
+		return emb.Metrics()
+	}
+
+	fmt.Println("pass 1: recompute-only (SVDUpdate off) — every violating block re-factors")
+	base := run(false)
+	fmt.Println("\npass 2: SVDUpdate on — per-block decisions as they happen:")
+	upd := run(true)
+
+	hit := 0.0
+	if n := upd.BlocksUpdated + upd.BlocksRebuilt; n > 0 {
+		hit = float64(upd.BlocksUpdated) / float64(n)
+	}
+	fmt.Printf("\nrecompute-only: %d blocks re-factored, block-factor p50 %v\n",
+		base.BlocksRebuilt, base.BlockFactor.P50.Round(time.Microsecond))
+	fmt.Printf("update path:    %d re-factored + %d updated (hit rate %.0f%%, %d fallbacks), block-update p50 %v\n",
+		upd.BlocksRebuilt, upd.BlocksUpdated, 100*hit, upd.UpdateFallbacks,
+		upd.BlockUpdate.P50.Round(time.Microsecond))
+	fmt.Println("\nThe per-block gap is the whole story: absorbing a small delta into")
+	fmt.Println("the cached (U, Σ, V) costs a fraction of re-running the randomized")
+	fmt.Println("SVD, and the fallback gates bound its error inside the same √2·δ·‖B‖")
+	fmt.Println("budget the lazy trigger already grants (run `make bench-dynamic` for")
+	fmt.Println("the full A/B with p50/p99 latencies).")
+}
+
+// name labels a pass for the progress lines.
+func name(update bool) string {
+	if update {
+		return "update"
+	}
+	return "recompute"
+}

@@ -32,6 +32,7 @@ import (
 	"math"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	treesvd "github.com/tree-svd/treesvd"
@@ -109,12 +110,54 @@ func TestDifferential(t *testing.T) {
 		seed := seed
 		t.Run(strconv.Itoa(seed), func(t *testing.T) {
 			t.Parallel()
-			runDifferentialSeed(t, int64(seed))
+			runDifferentialSeed(t, int64(seed), nil)
 		})
 	}
 }
 
-func runDifferentialSeed(t *testing.T, seed int64) {
+// TestDifferentialDynamicUpdate re-runs the whole differential harness
+// with the millisecond dynamic path switched on: Brand-style incremental
+// SVD updates absorbing violating blocks and SOR-accelerated push. The
+// Eqn. 2 tolerance stays at the library default (eager δ≈0 would starve
+// the update path: its pre-check needs real trigger slack), UpdateMaxRel
+// is opened wide so every violating block attempts the update, and
+// UpdateTailFrac stays at its default so commits remain inside the same
+// √2·δ error envelope the tolerance formulas below already budget for —
+// which is exactly why the bounds need no loosening here.
+func TestDifferentialDynamicUpdate(t *testing.T) {
+	seeds := fuzzSeeds(t)
+	var updated, rebuilt atomic.Uint64
+	t.Cleanup(func() {
+		// Parallel subtests finish before cleanup; across all seeds the
+		// incremental path must have absorbed at least one block, or the
+		// whole variant silently degenerated into the recompute baseline.
+		if updated.Load() == 0 {
+			t.Errorf("dynamic differential never took the update path (%d recomputes)", rebuilt.Load())
+		}
+	})
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(strconv.Itoa(seed), func(t *testing.T) {
+			t.Parallel()
+			m := runDifferentialSeed(t, int64(seed), func(cfg *treesvd.Config) {
+				cfg.Delta = treesvd.Defaults().Delta
+				cfg.SVDUpdate = true
+				cfg.UpdateMaxRel = 1e6
+				cfg.PushAccel = treesvd.PushSOR
+			})
+			updated.Add(m.BlocksUpdated)
+			rebuilt.Add(m.BlocksRebuilt)
+		})
+	}
+}
+
+// runDifferentialSeed drives one adversarial churn stream through the
+// incremental embedder and its fresh-build mirror, returning the
+// embedder's final metrics. mutate, when non-nil, edits the seed's base
+// configuration before the run (the dynamic-path variant hooks in here);
+// the shadow PPR pipelines always mirror the final configuration's push
+// variant so they keep tracking the embedder bitwise.
+func runDifferentialSeed(t *testing.T, seed int64, mutate func(*treesvd.Config)) treesvd.Metrics {
 	ctx := context.Background()
 	nodes := 30 + int(seed%4)*10
 	maxNodes := nodes + 12
@@ -132,6 +175,9 @@ func runDifferentialSeed(t *testing.T, seed int64) {
 	}
 	if seed%4 == 1 {
 		cfg.Workers = 2
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	delta := cfg.Delta
 	if delta == 0 {
@@ -160,7 +206,8 @@ func runDifferentialSeed(t *testing.T, seed int64) {
 	// equivalence bound the public API cannot expose. PPR pushes are
 	// deterministic, so the shadow matrix tracks the embedder's bitwise
 	// (asserted below through ProximityFrobNorm).
-	params := ppr.Params{Alpha: 0.15, RMax: rmax, Workers: cfg.Workers}
+	params := ppr.Params{Alpha: 0.15, RMax: rmax, Workers: cfg.Workers,
+		Accel: cfg.PushAccel == treesvd.PushSOR}
 	nblocks := core.Config{Rank: cfg.Dim, Branch: cfg.Branch, Levels: cfg.Levels, Delta: delta, Seed: cfg.Seed}.Blocks()
 	shadowSub, err := ppr.NewSubset(initial.Clone(), subset, params)
 	if err != nil {
@@ -173,7 +220,7 @@ func runDifferentialSeed(t *testing.T, seed int64) {
 	// ground-truth audit resolves estimate corruption the working r_max of
 	// 0.01 would hide inside legitimately parked residue mass.
 	tightSub, err := ppr.NewSubset(initial.Clone(), subset,
-		ppr.Params{Alpha: params.Alpha, RMax: 1e-6, Workers: cfg.Workers})
+		ppr.Params{Alpha: params.Alpha, RMax: 1e-6, Workers: cfg.Workers, Accel: params.Accel})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,4 +382,5 @@ func runDifferentialSeed(t *testing.T, seed int64) {
 			}
 		}
 	}
+	return emb.Metrics()
 }

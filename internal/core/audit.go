@@ -72,16 +72,27 @@ func (t *Tree) AuditShapes() error {
 // (the DynRow baseline), re-runs the randomized SVD at the seed recorded
 // in the cache, and demands Ū and the tail energy match. A mismatch means
 // either the baseline bookkeeping or the cache went stale without the
-// Eqn. 2 trigger noticing. Caches restored from snapshots without seed
-// provenance (seq < 0) are skipped. O(block factorization) — harness use
-// only.
+// Eqn. 2 trigger noticing.
+//
+// Caches without seed provenance (seq < 0) cannot be replayed. Those that
+// carry full factors — produced by the incremental update path — are
+// audited by their residual bound instead: ‖B_baseline − U·Σ·Vᵀ‖_F must
+// stay within the recorded tail energy, and Ū must equal U·Σ. Restored
+// caches with neither provenance nor factors are skipped. O(block
+// factorization) — harness use only.
 func (t *Tree) AuditBlock(j int) error {
 	if j < 0 || j >= len(t.level1) {
 		return fmt.Errorf("core: audit: block %d outside [0,%d)", j, len(t.level1))
 	}
 	c := t.level1[j]
-	if c == nil || c.seq < 0 {
+	if c == nil {
 		return nil
+	}
+	if c.seq < 0 {
+		if c.fac == nil {
+			return nil
+		}
+		return t.auditUpdatedBlock(j, c)
 	}
 	ref, err := t.factorCSR(t.m.BaselineBlockCSR(j), j, c.seq, 1)
 	if err != nil {
@@ -105,6 +116,47 @@ func (t *Tree) AuditBlock(j int) error {
 				return fmt.Errorf("core: audit: block %d cache diverges from replay at (%d,%d): %g vs %g",
 					j, r, i, got[i], want[i])
 			}
+		}
+	}
+	return nil
+}
+
+// auditUpdatedBlock checks a cache produced by the incremental update
+// path against its contract: the retained factors reconstruct the block's
+// baseline to within the recorded tail energy (a triangle-inequality upper
+// bound, exact at the last full factorization plus the accumulated
+// discarded mass since), and the level-2 input Ū is exactly U·Σ.
+// Materializes the block densely — harness use only.
+func (t *Tree) auditUpdatedBlock(j int, c *blockCache) error {
+	if c.updErr > c.tail+1e-12 {
+		return fmt.Errorf("core: audit: block %d accumulated update error %g exceeds tail %g", j, c.updErr, c.tail)
+	}
+	rec := c.fac.Reconstruct()
+	blk := t.m.BaselineBlockCSR(j)
+	if rec.Rows != blk.Rows || rec.Cols != blk.Cols {
+		return fmt.Errorf("core: audit: block %d factors reconstruct %d×%d, block is %d×%d",
+			j, rec.Rows, rec.Cols, blk.Rows, blk.Cols)
+	}
+	for r := 0; r < blk.Rows; r++ {
+		row := rec.Row(r)
+		for p := blk.RowPtr[r]; p < blk.RowPtr[r+1]; p++ {
+			row[blk.ColIdx[p]] -= blk.Val[p]
+		}
+	}
+	// The bound is conservative, so only a clear violation is an error; the
+	// slack absorbs float reductions on top of the recorded tail.
+	const tol = 1e-9
+	if resid := rec.FrobNorm(); resid > c.tail*(1+tol)+tol {
+		return fmt.Errorf("core: audit: block %d residual %g exceeds recorded tail %g", j, resid, c.tail)
+	}
+	us := c.fac.US()
+	if us.Rows != c.us.Rows || us.Cols != c.us.Cols {
+		return fmt.Errorf("core: audit: block %d Ū is %d×%d, factors give %d×%d",
+			j, c.us.Rows, c.us.Cols, us.Rows, us.Cols)
+	}
+	for i := range us.Data {
+		if d := math.Abs(us.Data[i] - c.us.Data[i]); d > 1e-12*(1+math.Abs(us.Data[i])) {
+			return fmt.Errorf("core: audit: block %d Ū diverges from U·Σ at flat index %d", j, i)
 		}
 	}
 	return nil

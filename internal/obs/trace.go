@@ -40,6 +40,12 @@ const (
 	// and reopening (Err nil). Seq is the WAL sequence the transition
 	// happened at.
 	TraceDegraded
+	// TraceBlockUpdate fires once per level-1 block served by the
+	// incremental (Brand-style) update path instead of a recompute, from
+	// the worker goroutine that updated it. Block is the block index, Dur
+	// the update time. Mutually exclusive with TraceBlockRecompute for a
+	// given block within one batch.
+	TraceBlockUpdate
 )
 
 // String returns the kind's name.
@@ -61,6 +67,8 @@ func (k TraceKind) String() string {
 		return "shed"
 	case TraceDegraded:
 		return "degraded"
+	case TraceBlockUpdate:
+		return "block-update"
 	}
 	return "unknown"
 }
@@ -71,8 +79,8 @@ func (k TraceKind) String() string {
 type TraceEvent struct {
 	Kind     TraceKind
 	Seq      uint64        // snapshot version / batch or checkpoint sequence
-	Block    int           // block index (TraceBlockRecompute), else -1
-	Shard    int           // owning shard (TraceBlockRecompute); 0 unsharded
+	Block    int           // block index (TraceBlockRecompute/TraceBlockUpdate), else -1
+	Shard    int           // owning shard (TraceBlockRecompute/TraceBlockUpdate); 0 unsharded
 	Events   int           // batch size (TraceBatchStart)
 	Rebuilt  int           // blocks re-factored / batches replayed
 	Endpoint string        // shedding admission gate (TraceShed), else ""
@@ -87,7 +95,7 @@ type TraceEvent struct {
 // so implementations must be fast and safe for concurrent use.
 //
 // Ordering contract per update: exactly one TraceBatchStart, then zero or
-// more TraceBlockRecompute (concurrently), then exactly one
-// TraceBatchEnd. TraceCheckpoint and TraceRecovery are emitted by the
+// more TraceBlockRecompute/TraceBlockUpdate (concurrently), then exactly
+// one TraceBatchEnd. TraceCheckpoint and TraceRecovery are emitted by the
 // durable layer outside that bracket.
 type TraceHook func(TraceEvent)

@@ -1,0 +1,201 @@
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/graph"
+)
+
+// TestAccelOffIsDeterministic: with Accel off, Push is deterministic
+// run-to-run (the knob's zero value leaves the classic code path exactly
+// in place; the differential harness separately pins that path's
+// results against fresh builds).
+func TestAccelOffIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randGraph(rng, 60, 240)
+	run := func(accel bool) *State {
+		e, err := NewEngine(g, Params{Alpha: 0.15, RMax: 1e-3, Accel: accel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewState(0, graph.Forward)
+		e.Push(st)
+		return st
+	}
+	// Accel=false twice: Push must be deterministic.
+	a, b := run(false), run(false)
+	if !reflect.DeepEqual(a.P, b.P) || !reflect.DeepEqual(a.R, b.R) {
+		t.Fatal("classic push not deterministic")
+	}
+}
+
+// TestAccelSatisfiesResidueBound: the over-relaxed variant must land
+// within the same |π − p| ≤ Σ|r| contract as the classic step, on graphs
+// with dangling nodes and self-loops included.
+func TestAccelSatisfiesResidueBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 4; trial++ {
+		g := randGraph(rng, 50, 200)
+		// Punch in a dangling node and a self-loop.
+		g.InsertEdge(3, 3)
+		e, err := NewEngine(g, Params{Alpha: 0.15, RMax: 1e-4, Accel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := int32(rng.Intn(50))
+		st := NewState(src, graph.Forward)
+		e.Push(st)
+		pi := exactPPR(g, src, 0.15, graph.Forward)
+		bound := st.ResidueL1() + 1e-9
+		for u, p := range st.P {
+			if d := math.Abs(pi[u] - p); d > bound {
+				t.Fatalf("trial %d: |π(%d) − p(%d)| = %g exceeds Σ|r| = %g", trial, u, u, d, bound)
+			}
+		}
+		// Mass conservation: Σp + Σr == 1 exactly up to float error.
+		var mass float64
+		for _, v := range st.P {
+			mass += v
+		}
+		for _, v := range st.R {
+			mass += v
+		}
+		if math.Abs(mass-1) > 1e-8 {
+			t.Fatalf("trial %d: estimate+residue mass %g, want 1", trial, mass)
+		}
+	}
+}
+
+// TestAccelTracksClassicEstimates: both variants converge to the same
+// limit; at the same r_max their estimates agree within the sum of their
+// residue bounds.
+func TestAccelTracksClassicEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randGraph(rng, 80, 320)
+	run := func(accel bool) *State {
+		e, err := NewEngine(g, Params{Alpha: 0.15, RMax: 1e-4, Accel: accel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewState(5, graph.Forward)
+		e.Push(st)
+		return st
+	}
+	cl, ac := run(false), run(true)
+	tol := cl.ResidueL1() + ac.ResidueL1() + 1e-12
+	keys := map[int32]struct{}{}
+	for u := range cl.P {
+		keys[u] = struct{}{}
+	}
+	for u := range ac.P {
+		keys[u] = struct{}{}
+	}
+	for u := range keys {
+		if d := math.Abs(cl.P[u] - ac.P[u]); d > tol {
+			t.Fatalf("estimates diverge at %d: classic %g vs accel %g (tol %g)", u, cl.P[u], ac.P[u], d)
+		}
+	}
+}
+
+// TestAccelDynamicStream: the accelerated engine driven through a churn
+// stream of inserts and deletes keeps the exact invariant the auditors
+// check — the final estimates match a from-scratch accelerated push on
+// the final graph within both residue sums.
+func TestAccelDynamicStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := randGraph(rng, 40, 160)
+	e, err := NewEngine(g, Params{Alpha: 0.2, RMax: 1e-4, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(2, graph.Forward)
+	e.Push(st)
+	var edges [][2]int32
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u, graph.Forward) {
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	for step := 0; step < 200; step++ {
+		if rng.Float64() < 0.45 && len(edges) > 40 {
+			i := rng.Intn(len(edges))
+			ev := graph.Event{Type: graph.Delete, U: edges[i][0], V: edges[i][1]}
+			if g.DeleteEdge(ev.U, ev.V) {
+				edges[i] = edges[len(edges)-1]
+				edges = edges[:len(edges)-1]
+				e.AdjustEvent(st, ev)
+			}
+		} else {
+			u, v := int32(rng.Intn(40)), int32(rng.Intn(40))
+			if g.InsertEdge(u, v) {
+				edges = append(edges, [2]int32{u, v})
+				e.AdjustEvent(st, graph.Event{Type: graph.Insert, U: u, V: v})
+			}
+		}
+		e.Push(st)
+	}
+	fresh := NewState(2, graph.Forward)
+	e.Push(fresh)
+	tol := st.ResidueL1() + fresh.ResidueL1() + 1e-9
+	for u, p := range fresh.P {
+		if d := math.Abs(st.P[u] - p); d > tol {
+			t.Fatalf("dynamic accel diverged from scratch at %d: %g vs %g", u, st.P[u], p)
+		}
+	}
+}
+
+// TestAccelSafeguardTerminates: a tiny graph with a very tight r_max
+// forces a long accelerated phase — small enough that the per-call push
+// budget (1024 + 32·n) trips and ω reverts to 1. The test demands what
+// the safeguard guarantees: termination with every residue below the
+// threshold.
+func TestAccelSafeguardTerminates(t *testing.T) {
+	// A ring with chords: tight r_max forces long pushes.
+	g := graph.New(16)
+	for i := int32(0); i < 16; i++ {
+		g.InsertEdge(i, (i+1)%16)
+		g.InsertEdge(i, (i+5)%16)
+	}
+	e, err := NewEngine(g, Params{Alpha: 0.05, RMax: 1e-9, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(0, graph.Forward)
+	e.Push(st) // must return; the budget reverts ω to 1 if needed
+	rmax := e.Params.RMax
+	for u, r := range st.R {
+		if abs(r) > rmax*e.degOrOne(u, st.Dir) {
+			t.Fatalf("terminated with violating residue at %d: %g", u, r)
+		}
+	}
+}
+
+// TestOmegaFormula pins the SOR factor to its closed form: the classic
+// optimum capped by the mass-safe stability bound 2/(2−α), and never
+// above it for any α — above the cap Σ|r| can grow per push and the
+// sweep diverges on adversarial graphs.
+func TestOmegaFormula(t *testing.T) {
+	p := Params{Alpha: 0.15, RMax: 1e-3}
+	if p.omega() != 1 {
+		t.Fatal("omega must be 1 with Accel off")
+	}
+	p.Accel = true
+	want := math.Min(2/(1+math.Sqrt(0.15*(2-0.15))), 2/(2-0.15))
+	if math.Abs(p.omega()-want) > 1e-15 {
+		t.Fatalf("omega = %g, want %g", p.omega(), want)
+	}
+	if p.omega() <= 1 || p.omega() >= 2 {
+		t.Fatalf("omega %g outside (1,2)", p.omega())
+	}
+	for _, alpha := range []float64{0.01, 0.15, 0.3, 0.5, 0.85, 0.99} {
+		q := Params{Alpha: alpha, RMax: 1e-3, Accel: true}
+		if w := q.omega(); w*(2-alpha)-1 > 1+1e-12 {
+			t.Fatalf("alpha %g: omega %g exceeds the mass-safe bound 2/(2-α)", alpha, w)
+		} else if w <= 1 {
+			t.Fatalf("alpha %g: omega %g is not an acceleration", alpha, w)
+		}
+	}
+}

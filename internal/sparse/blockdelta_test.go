@@ -1,0 +1,121 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// densify expands a BlockDelta into a dense rows×width matrix for
+// comparison against live − baseline computed entrywise.
+func densify(d *BlockDelta, rows, width int) [][]float64 {
+	out := make([][]float64, rows)
+	for r := range out {
+		out[r] = make([]float64, width)
+	}
+	for i, r := range d.Rows {
+		for k, c := range d.Cols[i] {
+			out[r][c] = d.Vals[i][k]
+		}
+	}
+	return out
+}
+
+func TestBlockDeltaMatchesLiveMinusBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewDynRow(6, 25, 5)
+	// Build an initial state and snapshot it as every block's baseline.
+	for step := 0; step < 80; step++ {
+		m.Set(rng.Intn(6), rng.Intn(25), rng.NormFloat64())
+	}
+	for j := 0; j < m.NumBlocks(); j++ {
+		m.MarkRebuilt(j)
+	}
+	before := m.ToDense()
+	// Churn: overwrites, deletions, inserts.
+	for step := 0; step < 120; step++ {
+		var v float64
+		if rng.Float64() > 0.3 {
+			v = rng.NormFloat64()
+		}
+		m.Set(rng.Intn(6), rng.Intn(25), v)
+	}
+	after := m.ToDense()
+
+	for j := 0; j < m.NumBlocks(); j++ {
+		lo, hi := m.BlockRange(j)
+		d := m.BlockDelta(j)
+		got := densify(d, 6, hi-lo)
+		nnz := 0
+		for r := 0; r < 6; r++ {
+			for c := lo; c < hi; c++ {
+				want := after.At(r, c) - before.At(r, c)
+				if math.Abs(got[r][c-lo]-want) > 1e-12 {
+					t.Fatalf("block %d delta[%d][%d] = %g, want %g", j, r, c-lo, got[r][c-lo], want)
+				}
+				if want != 0 {
+					nnz++
+				}
+			}
+		}
+		if d.NNZ() != nnz {
+			t.Fatalf("block %d NNZ = %d, want %d", j, d.NNZ(), nnz)
+		}
+	}
+}
+
+func TestBlockDeltaSortedAndDeterministic(t *testing.T) {
+	build := func(seed int64) *BlockDelta {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewDynRow(8, 16, 2)
+		for step := 0; step < 60; step++ {
+			m.Set(rng.Intn(8), rng.Intn(16), rng.NormFloat64())
+		}
+		for j := 0; j < m.NumBlocks(); j++ {
+			m.MarkRebuilt(j)
+		}
+		for step := 0; step < 60; step++ {
+			m.Set(rng.Intn(8), rng.Intn(16), rng.NormFloat64())
+		}
+		return m.BlockDelta(0)
+	}
+	d := build(42)
+	for i := 1; i < len(d.Rows); i++ {
+		if d.Rows[i] <= d.Rows[i-1] {
+			t.Fatalf("rows not strictly ascending: %v", d.Rows)
+		}
+	}
+	for i := range d.Rows {
+		for k := 1; k < len(d.Cols[i]); k++ {
+			if d.Cols[i][k] <= d.Cols[i][k-1] {
+				t.Fatalf("row %d cols not strictly ascending: %v", d.Rows[i], d.Cols[i])
+			}
+		}
+	}
+	// Map iteration order must not leak into the extraction.
+	for trial := 0; trial < 5; trial++ {
+		if again := build(42); !reflect.DeepEqual(d, again) {
+			t.Fatalf("BlockDelta not deterministic:\n%+v\nvs\n%+v", d, again)
+		}
+	}
+}
+
+func TestBlockDeltaDropsEntriesBackAtBaseline(t *testing.T) {
+	m := NewDynRow(3, 8, 1)
+	m.Set(1, 2, 4.0)
+	m.Set(2, 3, -1.5)
+	for j := 0; j < m.NumBlocks(); j++ {
+		m.MarkRebuilt(j)
+	}
+	// Move an entry away and exactly back; delete-then-restore another.
+	m.Set(1, 2, 9.0)
+	m.Set(1, 2, 4.0)
+	m.Set(2, 3, 0)
+	m.Set(2, 3, -1.5)
+	// One genuine change so the block is dirty for a reason.
+	m.Set(0, 5, 7.0)
+	if d := m.BlockDelta(0); d.NNZ() != 1 || d.Rows[0] != 0 || d.Cols[0][0] != 5 || d.Vals[0][0] != 7.0 {
+		t.Fatalf("expected single delta (0,5)=7, got %+v", d)
+	}
+}

@@ -334,6 +334,67 @@ func (m *DynRow) BaselineBlockCSR(j int) *CSR {
 	return out
 }
 
+// BlockDelta is the row-factored sparse delta D_j = B_live − B_baseline of
+// one column block: every entry touched since the block's last rebuild
+// whose live value still differs from its baseline, grouped by row.
+// Columns are block-local (rebased to start at 0, matching BlockCSR).
+// Rows and the columns within each row are sorted ascending, so extraction
+// is deterministic despite map iteration order — the incremental SVD
+// updater consuming it produces run-to-run identical factorizations.
+type BlockDelta struct {
+	Rows []int       // touched row indices, ascending
+	Cols [][]int32   // per touched row: block-local column indices, ascending
+	Vals [][]float64 // per touched row: live − baseline, aligned with Cols
+}
+
+// NNZ returns the number of changed entries in the delta.
+func (d *BlockDelta) NNZ() int {
+	n := 0
+	for _, v := range d.Vals {
+		n += len(v)
+	}
+	return n
+}
+
+// BlockDelta extracts block j's sparse delta since its last rebuild (see
+// the BlockDelta type). Entries that moved and then returned exactly to
+// their baseline value are dropped, so the result can be empty even while
+// the block is marked dirty. O(touched·log touched).
+func (m *DynRow) BlockDelta(j int) *BlockDelta {
+	lo, _ := m.BlockRange(j)
+	byRow := make(map[int][]int32, len(m.base[j]))
+	for key := range m.base[j] {
+		r := int(key >> 32)
+		byRow[r] = append(byRow[r], int32(key))
+	}
+	d := &BlockDelta{}
+	rows := make([]int, 0, len(byRow))
+	for r := range byRow {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	for _, r := range rows {
+		cols := byRow[r]
+		sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+		var cc []int32
+		var vv []float64
+		for _, c := range cols {
+			dv := m.Get(r, int(c)) - m.base[j][packKey(r, int(c))]
+			if dv == 0 {
+				continue
+			}
+			cc = append(cc, c-int32(lo))
+			vv = append(vv, dv)
+		}
+		if len(cc) > 0 {
+			d.Rows = append(d.Rows, r)
+			d.Cols = append(d.Cols, cc)
+			d.Vals = append(d.Vals, vv)
+		}
+	}
+	return d
+}
+
 // AuditRecount verifies the incrementally maintained bookkeeping against
 // an exact recount: per-block squared Frobenius norm, squared delta norm,
 // nnz counters, baseline key validity, and the no-stored-zero/no-NaN

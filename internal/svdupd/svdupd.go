@@ -1,0 +1,190 @@
+// Package svdupd implements Brand-style rank-k incremental SVD updating
+// for the dynamic Tree-SVD path (the DAMF idea, arXiv 2306.08967): instead
+// of re-running a randomized SVD over a dirty level-1 block from scratch,
+// the block's sparse delta D is absorbed directly into the cached
+// factorization B̂ = U·Σ·Vᵀ.
+//
+// The delta arrives row-factored from sparse.DynRow.BlockDelta: with
+// t touched rows, D = E·Dᵣ where E is the m×t selector of the touched
+// rows and Dᵣ the t×n matrix of their changed entries. Brand's identity
+// then writes
+//
+//	B̂ + D = [U Q_A] · K · [V Q_W]ᵀ,
+//
+// where Q_A·R_A is the thin QR of the component of E orthogonal to
+// range(U), Q_W·R_W the thin QR of the component of Dᵣᵀ orthogonal to
+// range(V), and
+//
+//	K = [Σ 0; 0 0] + [UᵀE; R_A] · [VᵀDᵣᵀ; R_W]ᵀ
+//
+// is a small (r+t)×(r+t) core. An exact SVD of K, truncated back to rank
+// d, yields the updated factors after two thin products. The cost is
+// O((m+n)·(r+t)² + (r+t)³) — independent of the block's nnz, which is
+// what makes the update path worthwhile against the O(nnz·(d+p)) sketch
+// of a full randomized recompute when t is small.
+//
+// The truncation of K is the only new error: its discarded spectral mass
+// is returned so the caller can maintain the triangle-inequality bound
+// ‖B_live − fac_new‖_F ≤ ‖B_base − fac_old‖_F + Discarded and fall back
+// to a full recompute once the accumulated update error exhausts its
+// budget (the Eqn. 2 trigger's conditioning fallback in internal/core).
+package svdupd
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+// Options tune one incremental update.
+type Options struct {
+	// Rank is the truncation target d of the updated factorization.
+	Rank int
+	// Workers is the kernel worker budget (0 or 1 = sequential); results
+	// are identical for every budget.
+	Workers int
+}
+
+// Result is an updated factorization plus the truncation error the update
+// introduced.
+type Result struct {
+	// Fac is the updated rank-≤d factorization of B̂ + D. Its U and V have
+	// orthonormal columns (to working precision) and S is descending.
+	Fac *linalg.SVDResult
+	// Discarded is the Frobenius mass √(Σ σ_i²) of the singular triplets
+	// of the core matrix K dropped by the rank-d truncation: an upper
+	// bound on ‖(B̂+D) − Fac‖_F, and exactly the new error the update adds
+	// on top of the old factorization's residual.
+	Discarded float64
+}
+
+// Update absorbs the sparse delta d into fac per Brand's identity and
+// returns the rank-truncated result. fac must carry its right factors
+// (V non-nil) — the update rewrites both sides. It fails when the delta
+// touches more rows than the factorization has rows or columns (the thin
+// QR of the orthogonal complements needs t ≤ min(m, n)); callers treat
+// that as "recompute instead".
+//
+// The arithmetic is deterministic: the same fac, delta and options produce
+// bit-identical results for every worker budget.
+func Update(fac *linalg.SVDResult, d *sparse.BlockDelta, opts Options) (*Result, error) {
+	if fac == nil || fac.U == nil {
+		return nil, fmt.Errorf("svdupd: nil factorization")
+	}
+	if fac.V == nil {
+		return nil, fmt.Errorf("svdupd: factorization has no right factors")
+	}
+	m, n, r := fac.U.Rows, fac.V.Rows, fac.Rank()
+	t := len(d.Rows)
+	if t == 0 {
+		return &Result{Fac: fac}, nil
+	}
+	if t > m || t > n {
+		return nil, fmt.Errorf("svdupd: delta touches %d rows, factorization is %d×%d", t, m, n)
+	}
+	for i, row := range d.Rows {
+		if row < 0 || row >= m {
+			return nil, fmt.Errorf("svdupd: delta row %d outside %d-row factorization", row, m)
+		}
+		for _, c := range d.Cols[i] {
+			if c < 0 || int(c) >= n {
+				return nil, fmt.Errorf("svdupd: delta column %d outside %d-column factorization", c, n)
+			}
+		}
+	}
+	w := opts.Workers
+
+	// Left side: A = E (the touched-row selector). UᵀA is just the touched
+	// rows of U transposed, so project E off range(U) and QR the remainder.
+	// The projection runs twice ("twice is enough" reorthogonalization) so
+	// Q_A stays orthogonal to U across long chains of updates.
+	ut := linalg.NewDense(t, r) // rows of U at the touched indices
+	for i, row := range d.Rows {
+		copy(ut.Row(i), fac.U.Row(row))
+	}
+	pa := linalg.MulTW(fac.U, ut, w).Scale(-1) // −U·(UᵀE), m×t
+	for i, row := range d.Rows {
+		pa.Row(row)[i]++
+	}
+	projectOff(pa, fac.U, w)
+	qa, ra := linalg.QRThinW(pa, w)
+
+	// Right side: W = Dᵣᵀ. VᵀW = (Dᵣ·V)ᵀ accumulates sparsely in one
+	// O(nnz(D)·r) pass; the orthogonal complement is dense n×t.
+	dv := linalg.NewDense(t, r) // Dᵣ·V
+	for i := range d.Rows {
+		cols, vals := d.Cols[i], d.Vals[i]
+		out := dv.Row(i)
+		for k, c := range cols {
+			axpyRow(out, vals[k], fac.V.Row(int(c)))
+		}
+	}
+	pw := linalg.MulTW(fac.V, dv, w).Scale(-1) // −V·(VᵀW), n×t
+	for i := range d.Rows {
+		cols, vals := d.Cols[i], d.Vals[i]
+		for k, c := range cols {
+			pw.Row(int(c))[i] += vals[k]
+		}
+	}
+	projectOff(pw, fac.V, w)
+	qw, rw := linalg.QRThinW(pw, w)
+
+	// Core K = [Σ 0; 0 0] + [UᵀE; R_A]·[VᵀW; R_W]ᵀ, (r+t)×(r+t).
+	left := linalg.NewDense(r+t, t)
+	right := linalg.NewDense(r+t, t)
+	for i := 0; i < r; i++ {
+		li, ri := left.Row(i), right.Row(i)
+		for jj := 0; jj < t; jj++ {
+			li[jj] = ut.At(jj, i) // (UᵀE)[i][jj]
+			ri[jj] = dv.At(jj, i) // (VᵀW)[i][jj]
+		}
+	}
+	for i := 0; i < t; i++ {
+		copy(left.Row(r+i), ra.Row(i))
+		copy(right.Row(r+i), rw.Row(i))
+	}
+	k := linalg.MulTW(left, right, w)
+	for i := 0; i < r; i++ {
+		k.Row(i)[i] += fac.S[i]
+	}
+
+	kres := linalg.SVDW(k, w)
+	kr := kres.Rank()
+	dd := kr
+	if opts.Rank >= 0 && dd > opts.Rank {
+		dd = opts.Rank
+	}
+	var discSq float64
+	for i := dd; i < kr; i++ {
+		discSq += kres.S[i] * kres.S[i]
+	}
+	kt := kres.Truncate(dd)
+
+	// Rotate the expanded bases: U' = [U Q_A]·U_K, V' = [V Q_W]·V_K.
+	unew := linalg.MulW(linalg.HCat(fac.U, qa), kt.U, w)
+	vnew := linalg.MulW(linalg.HCat(fac.V, qw), kt.V, w)
+	return &Result{
+		Fac:       &linalg.SVDResult{U: unew, S: append([]float64(nil), kt.S...), V: vnew},
+		Discarded: math.Sqrt(discSq),
+	}, nil
+}
+
+// projectOff subtracts basis·(basisᵀ·p) from p in place — the second
+// Gram–Schmidt pass that keeps the orthogonal complement numerically
+// orthogonal to the cached basis.
+func projectOff(p, basis *linalg.Dense, workers int) {
+	bt := linalg.TMulW(basis, p, workers) // basisᵀ·p, r×t
+	corr := linalg.MulW(basis, bt, workers)
+	for i := range p.Data {
+		p.Data[i] -= corr.Data[i]
+	}
+}
+
+// axpyRow adds a·x into dst (dst += a·x).
+func axpyRow(dst []float64, a float64, x []float64) {
+	for i, v := range x {
+		dst[i] += a * v
+	}
+}

@@ -1,0 +1,267 @@
+package svdupd
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/tree-svd/treesvd/internal/linalg"
+	"github.com/tree-svd/treesvd/internal/sparse"
+)
+
+func randDense(rng *rand.Rand, r, c int) *linalg.Dense {
+	m := linalg.NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// randDelta builds a sparse delta over t distinct rows of an m×n block and
+// returns it alongside its dense expansion.
+func randDelta(rng *rand.Rand, m, n, t, perRow int) (*sparse.BlockDelta, *linalg.Dense) {
+	rows := rng.Perm(m)[:t]
+	d := &sparse.BlockDelta{}
+	dd := linalg.NewDense(m, n)
+	sortInts(rows)
+	for _, r := range rows {
+		cols := rng.Perm(n)[:perRow]
+		sortInts(cols)
+		var cc []int32
+		var vv []float64
+		for _, c := range cols {
+			v := rng.NormFloat64()
+			cc = append(cc, int32(c))
+			vv = append(vv, v)
+			dd.Set(r, c, v)
+		}
+		d.Rows = append(d.Rows, r)
+		d.Cols = append(d.Cols, cc)
+		d.Vals = append(d.Vals, vv)
+	}
+	return d, dd
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// TestUpdateExactFullRank: when no truncation happens (rank budget covers
+// the whole core), the update is algebraically exact — U'Σ'V'ᵀ equals
+// B + D to rounding error, and Discarded is ~0.
+func TestUpdateExactFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n, r := 20, 14, 5
+	b := linalg.MulW(randDense(rng, m, r), randDense(rng, r, n), 1)
+	fac := linalg.SVDTruncW(b, r, 1) // exact: b has rank r
+	d, dd := randDelta(rng, m, n, 3, 4)
+	res, err := Update(fac, d, Options{Rank: r + 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.Add(b, dd)
+	got := res.Fac.Reconstruct()
+	if diff := linalg.MaxAbsDiff(got, want); diff > 1e-10 {
+		t.Fatalf("full-rank update not exact: max |diff| = %g", diff)
+	}
+	if res.Discarded > 1e-10 {
+		t.Fatalf("Discarded = %g, want ~0 with no truncation", res.Discarded)
+	}
+	checkOrtho(t, res.Fac.U)
+	checkOrtho(t, res.Fac.V)
+	checkDescending(t, res.Fac.S)
+}
+
+// TestUpdateTruncatedMatchesDirectSVD: a rank-d truncated update must land
+// on (numerically) the same subspace and singular values as a direct
+// rank-d SVD of B + D, and Discarded must bound the extra residual.
+func TestUpdateTruncatedMatchesDirectSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, n, d0 := 24, 16, 6
+	b := randDense(rng, m, n)
+	full := linalg.SVDW(b, 1)
+	fac := full.Truncate(d0)
+	baseTail := full.TailEnergy(b.FrobNorm(), d0)
+	d, dd := randDelta(rng, m, n, 2, 3)
+	res, err := Update(fac, d, Options{Rank: d0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fac.Rank() != d0 {
+		t.Fatalf("updated rank %d, want %d", res.Fac.Rank(), d0)
+	}
+	bd := linalg.Add(b, dd)
+	direct := linalg.SVDTruncW(bd, d0, 1)
+	for i := range direct.S {
+		// The update starts from the truncated fac, not B, so its spectrum
+		// can differ by at most the dropped baseline tail (Weyl).
+		if math.Abs(res.Fac.S[i]-direct.S[i]) > baseTail+1e-9 {
+			t.Fatalf("σ_%d = %g, direct %g, Weyl slack %g", i, res.Fac.S[i], direct.S[i], baseTail)
+		}
+	}
+	// Triangle bound: ‖(B+D) − fac'‖ ≤ ‖B − fac‖ + Discarded.
+	resid := linalg.Sub(bd, res.Fac.Reconstruct()).FrobNorm()
+	if resid > baseTail+res.Discarded+1e-9 {
+		t.Fatalf("residual %g exceeds baseTail %g + Discarded %g", resid, baseTail, res.Discarded)
+	}
+	checkOrtho(t, res.Fac.U)
+	checkOrtho(t, res.Fac.V)
+}
+
+// TestUpdateChain: many successive small updates stay orthonormal and keep
+// the accumulated-error triangle bound Σ Discarded honest.
+func TestUpdateChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m, n, d0 := 18, 12, 4
+	b := randDense(rng, m, n)
+	full := linalg.SVDW(b, 1)
+	fac := full.Truncate(d0)
+	baseTail := full.TailEnergy(b.FrobNorm(), d0)
+	live := b.Clone()
+	var accum float64
+	for step := 0; step < 25; step++ {
+		d, dd := randDelta(rng, m, n, 1+rng.Intn(2), 2)
+		res, err := Update(fac, d, Options{Rank: d0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fac = res.Fac
+		accum += res.Discarded
+		live = linalg.Add(live, dd)
+	}
+	checkOrtho(t, fac.U)
+	checkOrtho(t, fac.V)
+	resid := linalg.Sub(live, fac.Reconstruct()).FrobNorm()
+	if resid > baseTail+accum+1e-8 {
+		t.Fatalf("chained residual %g exceeds bound %g", resid, baseTail+accum)
+	}
+}
+
+// TestUpdateRankDeficientDelta: repeated/parallel delta rows make the
+// orthogonal complements rank-deficient; QR deflation must keep the
+// result finite and the bound intact.
+func TestUpdateRankDeficientDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m, n, d0 := 16, 10, 4
+	b := randDense(rng, m, n)
+	full := linalg.SVDW(b, 1)
+	fac := full.Truncate(d0)
+	baseTail := full.TailEnergy(b.FrobNorm(), d0)
+	// Two touched rows with identical change patterns → Dᵣ has rank 1.
+	vals := []float64{1.25, -0.5}
+	d := &sparse.BlockDelta{
+		Rows: []int{2, 7},
+		Cols: [][]int32{{1, 6}, {1, 6}},
+		Vals: [][]float64{vals, vals},
+	}
+	dd := linalg.NewDense(m, n)
+	for i, r := range d.Rows {
+		for k, c := range d.Cols[i] {
+			dd.Set(r, int(c), d.Vals[i][k])
+		}
+	}
+	res, err := Update(fac, d, Options{Rank: d0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Fac.U.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite entry in updated U")
+		}
+	}
+	resid := linalg.Sub(linalg.Add(b, dd), res.Fac.Reconstruct()).FrobNorm()
+	if resid > baseTail+res.Discarded+1e-9 {
+		t.Fatalf("rank-deficient residual %g exceeds bound", resid)
+	}
+	checkOrtho(t, res.Fac.U)
+	checkOrtho(t, res.Fac.V)
+}
+
+func TestUpdateGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	b := randDense(rng, 6, 4)
+	fac := linalg.SVDTruncW(b, 3, 1)
+
+	// Empty delta: factorization returned unchanged, zero cost.
+	res, err := Update(fac, &sparse.BlockDelta{}, Options{Rank: 3})
+	if err != nil || res.Fac != fac || res.Discarded != 0 {
+		t.Fatalf("empty delta: res=%+v err=%v", res, err)
+	}
+
+	// Delta touching more rows than the block has columns → error.
+	wide := &sparse.BlockDelta{}
+	for r := 0; r < 5; r++ {
+		wide.Rows = append(wide.Rows, r)
+		wide.Cols = append(wide.Cols, []int32{0})
+		wide.Vals = append(wide.Vals, []float64{1})
+	}
+	if _, err := Update(fac, wide, Options{Rank: 3}); err == nil {
+		t.Fatal("expected error for t > n")
+	}
+
+	// Missing right factors → error.
+	noV := &linalg.SVDResult{U: fac.U, S: fac.S}
+	one := &sparse.BlockDelta{Rows: []int{0}, Cols: [][]int32{{0}}, Vals: [][]float64{{1}}}
+	if _, err := Update(noV, one, Options{Rank: 3}); err == nil {
+		t.Fatal("expected error for V == nil")
+	}
+
+	// Out-of-range coordinates → error, not a panic.
+	bad := &sparse.BlockDelta{Rows: []int{0}, Cols: [][]int32{{9}}, Vals: [][]float64{{1}}}
+	if _, err := Update(fac, bad, Options{Rank: 3}); err == nil {
+		t.Fatal("expected error for out-of-range column")
+	}
+}
+
+// TestUpdateDeterministicAcrossWorkers: worker budget must not change a
+// single bit of the result.
+func TestUpdateDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	b := randDense(rng, 30, 20)
+	fac := linalg.SVDW(b, 1).Truncate(6)
+	d, _ := randDelta(rng, 30, 20, 4, 5)
+	r1, err := Update(fac, d, Options{Rank: 6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Update(fac, d, Options{Rank: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Fac.U.Data, r4.Fac.U.Data) ||
+		!reflect.DeepEqual(r1.Fac.S, r4.Fac.S) ||
+		!reflect.DeepEqual(r1.Fac.V.Data, r4.Fac.V.Data) ||
+		r1.Discarded != r4.Discarded {
+		t.Fatal("result differs across worker budgets")
+	}
+}
+
+func checkOrtho(t *testing.T, q *linalg.Dense) {
+	t.Helper()
+	g := linalg.TMulW(q, q, 1)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-9 {
+				t.Fatalf("columns not orthonormal: G[%d][%d] = %g", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+func checkDescending(t *testing.T, s []float64) {
+	t.Helper()
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1]+1e-12 {
+			t.Fatalf("singular values not descending: %v", s)
+		}
+	}
+}

@@ -408,13 +408,15 @@ func embedderFromSaved(saved *savedEmbedder, path string) (*Embedder, error) {
 		}
 	}
 	sw := par.SplitBudget(cfg.Workers, cfg.Shards)
-	params := ppr.Params{Alpha: cfg.Alpha, RMax: cfg.RMax, Workers: sw, Met: &ppr.Metrics{}}
+	params := ppr.Params{Alpha: cfg.Alpha, RMax: cfg.RMax, Workers: sw, Met: &ppr.Metrics{},
+		Accel: cfg.PushAccel == PushSOR}
 	if err := params.Validate(); err != nil {
 		return nil, &CorruptStateError{Path: path, Offset: -1, Reason: "invalid saved configuration", Err: err}
 	}
 	tcfg := core.Config{
 		Rank: cfg.Dim, Branch: cfg.Branch, Levels: cfg.Levels,
 		Delta: cfg.Delta, Seed: cfg.Seed, Workers: sw,
+		SVDUpdate: cfg.SVDUpdate, UpdateMaxRel: cfg.UpdateMaxRel, UpdateTailFrac: cfg.UpdateTailFrac,
 	}
 	treeMet := &core.Metrics{}
 	shards := make([]*shard, len(parts))

@@ -311,7 +311,10 @@ func (e *Embedder) publishLocked() {
 		snap.x = root.USqrtS()
 		snap.root = root
 		snap.m = s.prox.M.ToCSR()
-		snap.stats = Stats{Level1Rebuilt: ts.Level1Rebuilt, Skipped: ts.Skipped, UpperRebuilt: ts.UpperRebuilt}
+		snap.stats = Stats{
+			Level1Rebuilt: ts.Level1Rebuilt, Level1Updated: ts.Level1Updated,
+			Skipped: ts.Skipped, UpperRebuilt: ts.UpperRebuilt,
+		}
 	} else {
 		snap.parts = make([]snapPart, len(e.shards))
 		snap.rank = e.cfg.Dim
@@ -320,6 +323,7 @@ func (e *Embedder) publishLocked() {
 			snap.parts[i] = snapPart{root: s.tree.Root(), m: s.prox.M.ToCSR(), lo: s.lo, hi: s.hi}
 			ts := s.tree.Stats()
 			snap.stats.Level1Rebuilt += ts.Level1Rebuilt
+			snap.stats.Level1Updated += ts.Level1Updated
 			snap.stats.Skipped += ts.Skipped
 			snap.stats.UpperRebuilt += ts.UpperRebuilt
 		}
